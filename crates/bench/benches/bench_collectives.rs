@@ -1,0 +1,43 @@
+//! Criterion benches of the in-process collectives (ring vs recursive
+//! doubling vs allgather) — the substrate behind every exchange.
+
+use cluster_comm::{run_cluster, CollectiveAlgo, NetworkProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    let world = 4;
+    for &n in &[2usize, 4096, 262_144] {
+        group.bench_with_input(BenchmarkId::new("ring_allreduce", n), &n, |b, &n| {
+            b.iter(|| {
+                run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+                    let mut d = vec![1.0f32; n];
+                    h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring, None);
+                    d[0]
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rd_allreduce", n), &n, |b, &n| {
+            b.iter(|| {
+                run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+                    let mut d = vec![1.0f32; n];
+                    h.allreduce_sum_with(&mut d, CollectiveAlgo::RecursiveDoubling, None);
+                    d[0]
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allgather", n), &n, |b, &n| {
+            b.iter(|| {
+                run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+                    let d = vec![1.0f32; n / world];
+                    h.allgather(&d, None).len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

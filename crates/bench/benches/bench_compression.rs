@@ -1,0 +1,50 @@
+//! Criterion microbenches behind Figure 2: per-algorithm compression
+//! compute on bell-shaped synthetic gradients.
+
+use a2sgd::split_means;
+use a2sgd_bench::synthetic_gradient;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gradcomp::gaussiank::GaussianK;
+use gradcomp::topk::TopK;
+use gradcomp::{Qsgd, QsgdImpl, TernGrad};
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    for &n in &[65_536usize, 1_048_576] {
+        let g = synthetic_gradient(n, n as u64);
+        let k = (n / 1000).max(1);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("a2sgd_split_means", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(split_means(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("topk_select", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(TopK::select(g, k).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("gaussiank_threshold", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(GaussianK::estimate_threshold(g, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("qsgd_fast", n), &g, |b, g| {
+            let mut q = Qsgd::new(4, QsgdImpl::Fast, 7);
+            b.iter(|| std::hint::black_box(q.quantize(g).norm))
+        });
+        group.bench_with_input(BenchmarkId::new("terngrad", n), &g, |b, g| {
+            let mut t = TernGrad::new(7);
+            b.iter(|| {
+                let mut tmp = g.clone();
+                std::hint::black_box(t.ternarize(&mut tmp))
+            })
+        });
+    }
+    // QSGD reference (O(n²)) only at a bounded size.
+    let g = synthetic_gradient(4096, 9);
+    group.bench_function("qsgd_reference_4096", |b| {
+        let mut q = Qsgd::new(4, QsgdImpl::Reference, 7);
+        b.iter(|| std::hint::black_box(q.quantize(&g).norm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 2 regenerator: gradient-compression computation time vs number
+//! of parameters (paper x-axis: 0–100 M), for TopK, QSGD, GaussianK and
+//! A2SGD.
+//!
+//! The paper's shape: QSGD ≫ TopK > GaussianK ≳ A2SGD, with A2SGD lowest.
+//! QSGD is run in two flavours: the O(n) `fast` Rust port, and the
+//! paper-faithful O(n²) `reference` (norm recomputed per coordinate, as
+//! §4.3 attributes to the numpy implementation) at bounded n — the
+//! reference at 100 M parameters would take hours by construction.
+//!
+//! Run: `cargo run --release -p a2sgd-bench --bin fig2_compression_time`
+
+use a2sgd::registry::AlgoKind;
+use a2sgd::report::{fmt_seconds, Table};
+use a2sgd_bench::{compression_compute_seconds, results_dir, synthetic_gradient, time_best, Args};
+use gradcomp::{Qsgd, QsgdImpl};
+
+fn main() {
+    let args = Args::parse();
+    let fast = args.has("fast");
+    let sizes: Vec<usize> = if fast {
+        vec![1_000_000, 5_000_000, 25_000_000]
+    } else {
+        vec![1_000_000, 5_000_000, 14_728_266, 25_000_000, 50_000_000, 66_034_000, 100_000_000]
+    };
+    // O(n²) reference is only feasible at small n; its growth rate lets the
+    // reader extrapolate the paper's curve.
+    let reference_sizes: Vec<usize> = vec![2_000, 8_000, 32_000];
+
+    println!("== Figure 2: Compression computation time vs #parameters ==\n");
+    let mut table = Table::new(
+        "fig2 compression time",
+        &["n (params)", "TopK", "QSGD(fast)", "GaussianK", "A2SGD"],
+    );
+    let algos =
+        [AlgoKind::TopK(0.001), AlgoKind::Qsgd(4), AlgoKind::GaussianK(0.001), AlgoKind::A2sgd];
+    let mut csv = Table::new("fig2", &["n", "algo", "seconds"]);
+    for &n in &sizes {
+        let mut g = synthetic_gradient(n, n as u64);
+        let mut cells = vec![format!("{:.1}M", n as f64 / 1e6)];
+        for algo in algos {
+            let reps = if n > 50_000_000 { 1 } else { 2 };
+            let t = compression_compute_seconds(algo, &mut g, reps);
+            cells.push(fmt_seconds(t));
+            csv.row(&[n.to_string(), algo.name().to_string(), format!("{t:.6}")]);
+        }
+        table.row(&cells);
+        eprintln!("  measured n = {n}");
+    }
+    println!("{}", table.render());
+
+    println!("QSGD reference implementation (paper-faithful O(n²)):");
+    let mut rtable = Table::new("fig2 qsgd reference", &["n", "seconds", "ns/coord (grows ∝ n)"]);
+    for &n in &reference_sizes {
+        let g = synthetic_gradient(n, 3);
+        let mut q = Qsgd::new(4, QsgdImpl::Reference, 7);
+        let t = time_best(1, || {
+            let out = q.quantize(&g);
+            std::hint::black_box(out.norm);
+        });
+        rtable.row(&[n.to_string(), fmt_seconds(t), format!("{:.0}", t * 1e9 / n as f64)]);
+        csv.row(&[n.to_string(), "QSGD(reference)".into(), format!("{t:.6}")]);
+    }
+    println!("{}", rtable.render());
+
+    let path = results_dir().join("fig2.csv");
+    csv.save_csv(&path).expect("write csv");
+    println!("CSV: {}", path.display());
+    println!("\nPaper shape to verify: A2SGD lowest, GaussianK close, TopK above them, QSGD far above (superlinear).");
+}

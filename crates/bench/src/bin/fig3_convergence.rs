@@ -1,0 +1,79 @@
+//! Figures 3 / 6 / 7 / 8 regenerator: convergence accuracy (top-1 % or
+//! perplexity) per epoch for Dense, TopK, QSGD, GaussianK and A2SGD.
+//!
+//! `--workers 8` reproduces Figure 3; 2/4/16 reproduce Figures 6/7/8.
+//! `--model fnn3|vgg16|resnet20|lstm|all` selects the workload (default:
+//! the two fast ones). Paper shape to verify: A2SGD tracks Dense most
+//! closely; TopK is the best of the rest; QSGD trails.
+//!
+//! Run: `cargo run --release -p a2sgd-bench --bin fig3_convergence -- --workers 8 --model fnn3`
+
+use a2sgd::experiments::scaled_convergence_config;
+use a2sgd::registry::AlgoKind;
+use a2sgd::report::Table;
+use a2sgd::trainer::train;
+use a2sgd_bench::{results_dir, Args};
+use mini_nn::models::ModelKind;
+
+fn models_from(arg: &str) -> Vec<ModelKind> {
+    match arg {
+        "fnn3" => vec![ModelKind::Fnn3],
+        "vgg16" => vec![ModelKind::Vgg16],
+        "resnet20" => vec![ModelKind::ResNet20],
+        "lstm" => vec![ModelKind::LstmPtb],
+        "all" => ModelKind::ALL.to_vec(),
+        "fast" => vec![ModelKind::Fnn3, ModelKind::LstmPtb],
+        other => panic!("unknown --model {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let workers: usize = args.get_or("workers", 8);
+    let models = models_from(args.get("model").unwrap_or("fast"));
+    let fig = match workers {
+        2 => "Figure 6",
+        4 => "Figure 7",
+        8 => "Figure 3",
+        16 => "Figure 8",
+        _ => "custom",
+    };
+    println!("== {fig}: Convergence with {workers} workers ==\n");
+
+    for model in models {
+        let algos = AlgoKind::paper_five();
+        let metric_name = if model.is_language_model() { "perplexity" } else { "top-1 %" };
+        println!("--- {} ({metric_name}) ---", model.name());
+
+        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+        for algo in algos {
+            let cfg = scaled_convergence_config(model, algo, workers, 17);
+            let rep = train(&cfg);
+            eprintln!(
+                "  {} final {metric_name} = {:.2} (wire {} bits/iter/worker)",
+                algo.name(),
+                rep.final_metric,
+                rep.wire_bits_per_iter
+            );
+            curves.push((algo.name().to_string(), rep.epochs.iter().map(|e| e.metric).collect()));
+        }
+
+        let epochs = curves[0].1.len();
+        let mut header: Vec<String> = vec!["epoch".into()];
+        header.extend(curves.iter().map(|(n, _)| n.clone()));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&format!("{fig} — {} ({metric_name})", model.name()), &hdr);
+        for e in 0..epochs {
+            let mut row = vec![(e + 1).to_string()];
+            for (_, c) in &curves {
+                row.push(format!("{:.2}", c[e]));
+            }
+            t.row(&row);
+        }
+        println!("{}", t.render());
+        let path = results_dir()
+            .join(format!("fig3_w{workers}_{}.csv", model.name().to_lowercase().replace('-', "")));
+        t.save_csv(&path).expect("write csv");
+        println!("CSV: {}\n", path.display());
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 5 regenerator: total training time vs worker count at
+//! paper-scale models, epochs and dataset sizes.
+//!
+//! `total = iteration_time(P) × iterations_per_epoch(P) × epochs`, with
+//! per-iteration time composed exactly as in the Figure 4 regenerator.
+//! Because iterations per epoch shrink ∝ 1/P while per-iteration time
+//! grows slowly with P, all algorithms speed up with more workers — the
+//! paper's "manifestation of the strength of data-parallel SGD".
+//!
+//! Run: `cargo run --release -p a2sgd-bench --bin fig5_total_time`
+
+use a2sgd::registry::AlgoKind;
+use a2sgd::report::Table;
+use a2sgd_bench::{
+    comm_seconds, compression_compute_seconds, fwd_bwd_seconds, results_dir, synthetic_gradient,
+    Args,
+};
+use cluster_comm::{CostModel, NetworkProfile};
+use mini_nn::models::ModelKind;
+
+/// Paper dataset sizes and epochs (Table 1 + §4.2).
+fn workload(model: ModelKind) -> (usize, usize) {
+    match model {
+        ModelKind::Fnn3 => (60_000, 30),      // MNIST, 30 epochs
+        ModelKind::Vgg16 => (50_000, 150),    // CIFAR10, 150 epochs
+        ModelKind::ResNet20 => (50_000, 150), // CIFAR10, 150 epochs
+        ModelKind::LstmPtb => (26_520, 100),  // PTB train sequences (~929k tokens / 35)
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let fast = args.has("fast");
+    let worker_counts = [2usize, 4, 8, 16];
+    let algos = AlgoKind::paper_five();
+    let model_list = if fast { vec![ModelKind::Fnn3] } else { ModelKind::ALL.to_vec() };
+    let cm = CostModel::new(NetworkProfile::infiniband_100g());
+    let global_batch = 128usize;
+
+    println!("== Figure 5: Total execution time (paper-scale, 100 Gbps IB model) ==\n");
+    let mut csv = Table::new("fig5", &["model", "algo", "workers", "seconds"]);
+    for model in model_list {
+        let n = model.paper_param_count();
+        let (samples, epochs) = workload(model);
+        eprintln!("measuring compression at n = {n} ({})...", model.name());
+        let mut g = synthetic_gradient(n, n as u64);
+        let tc: Vec<f64> = algos
+            .iter()
+            .map(|a| match a {
+                AlgoKind::Dense => 0.0,
+                _ => compression_compute_seconds(*a, &mut g, 1),
+            })
+            .collect();
+
+        let mut header: Vec<String> = vec!["P".into()];
+        header.extend(algos.iter().map(|a| a.name().to_string()));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t =
+            Table::new(&format!("Fig 5 — {} total training time (s)", model.name()), &hdr);
+        for &p in &worker_counts {
+            let iters = samples / global_batch; // iterations per epoch (global batch fixed)
+            let mut row = vec![p.to_string()];
+            for (ai, algo) in algos.iter().enumerate() {
+                // Compute shrinks with P (batch is split), sync cost does not.
+                let iter_time =
+                    fwd_bwd_seconds(model) * 2.0 / p as f64 + tc[ai] + comm_seconds(*algo, n, p, &cm);
+                let total = iter_time * iters as f64 * epochs as f64;
+                row.push(format!("{:.0}", total));
+                csv.row(&[
+                    model.name().into(),
+                    algo.name().into(),
+                    p.to_string(),
+                    format!("{total:.1}"),
+                ]);
+            }
+            t.row(&row);
+        }
+        println!("{}", t.render());
+    }
+    let path = results_dir().join("fig5.csv");
+    csv.save_csv(&path).expect("write csv");
+    println!("CSV: {}", path.display());
+    println!("\nPaper shape to verify: all algorithms get faster with more workers; A2SGD/GaussianK fastest for VGG-16 and LSTM-PTB; QSGD slowest overall.");
+}

@@ -1,0 +1,632 @@
+//! Shared-memory collectives with simulated clocks.
+//!
+//! Data movement is real (MPI-style algorithms over per-rank mailboxes);
+//! time is modeled with [`CostModel`]. Every rank must call the same
+//! sequence of collective operations — the usual SPMD contract.
+
+use crate::cost::CostModel;
+use crate::profile::NetworkProfile;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which allreduce algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveAlgo {
+    /// Ring reduce-scatter + allgather: bandwidth-optimal.
+    Ring,
+    /// Recursive doubling (with the MPICH non-power-of-two fold):
+    /// latency-optimal.
+    RecursiveDoubling,
+    /// Pick by modeled cost, like an MPI implementation would.
+    Auto,
+}
+
+/// Per-rank traffic accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes physically moved between mailboxes by this rank.
+    pub bytes_sent: u64,
+    /// Mailbox messages sent.
+    pub messages: u64,
+    /// Logical bits a real network would carry for the application-level
+    /// payloads (set by callers via wire-size overrides; this is what the
+    /// paper's Table 2 counts).
+    pub logical_wire_bits: u64,
+}
+
+struct Msg {
+    tag: u64,
+    origin: usize,
+    data: Vec<f32>,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    q: Mutex<Vec<Msg>>,
+    cv: Condvar,
+}
+
+/// Sense-reversing centralized barrier (see "Rust Atomics and Locks" ch. 4/9
+/// for the pattern). Spin-waits with `yield_now` — rank counts here are ≤ 32.
+struct SenseBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    total: usize,
+}
+
+impl SenseBarrier {
+    fn new(total: usize) -> Self {
+        SenseBarrier { count: AtomicUsize::new(0), sense: AtomicBool::new(false), total }
+    }
+
+    fn wait(&self, local_sense: &mut bool) {
+        let my_sense = !*local_sense;
+        *local_sense = my_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+struct Inner {
+    world: usize,
+    cost: CostModel,
+    mailboxes: Vec<Mailbox>,
+    barrier: SenseBarrier,
+    /// Per-rank (clock, payload-bytes) deposit slots for clock syncing.
+    slots: Vec<Mutex<(f64, f64)>>,
+}
+
+/// A simulated cluster; create once, then [`Cluster::handle`] per rank.
+pub struct Cluster {
+    inner: Arc<Inner>,
+}
+
+impl Cluster {
+    /// Builds a cluster of `world` ranks over `profile`.
+    pub fn new(world: usize, profile: NetworkProfile) -> Self {
+        assert!(world >= 1, "world must be ≥ 1");
+        let inner = Inner {
+            world,
+            cost: CostModel::new(profile),
+            mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
+            barrier: SenseBarrier::new(world),
+            slots: (0..world).map(|_| Mutex::new((0.0, 0.0))).collect(),
+        };
+        Cluster { inner: Arc::new(inner) }
+    }
+
+    /// The communication endpoint for `rank`. Each rank must be taken
+    /// exactly once and moved to its thread.
+    pub fn handle(&self, rank: usize) -> CommHandle {
+        assert!(rank < self.inner.world);
+        CommHandle {
+            rank,
+            inner: self.inner.clone(),
+            clock_s: 0.0,
+            stats: TrafficStats::default(),
+            op_seq: 0,
+            local_sense: false,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.inner.world
+    }
+}
+
+/// Rank-local endpoint: collectives, clocks and traffic stats.
+pub struct CommHandle {
+    rank: usize,
+    inner: Arc<Inner>,
+    clock_s: f64,
+    stats: TrafficStats,
+    op_seq: u64,
+    local_sense: bool,
+}
+
+impl CommHandle {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Cluster size.
+    pub fn world(&self) -> usize {
+        self.inner.world
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    /// Simulated seconds elapsed on this rank.
+    pub fn clock(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Advances the local clock by measured compute time.
+    pub fn advance_compute(&mut self, seconds: f64) {
+        self.clock_s += seconds;
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Resets traffic statistics (e.g. per-epoch accounting).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn send(&mut self, to: usize, tag: u64, origin: usize, data: Vec<f32>) {
+        self.stats.bytes_sent += 4 * data.len() as u64;
+        self.stats.messages += 1;
+        let mb = &self.inner.mailboxes[to];
+        let mut q = mb.q.lock();
+        q.push(Msg { tag, origin, data });
+        mb.cv.notify_all();
+    }
+
+    fn recv(&mut self, tag: u64) -> (usize, Vec<f32>) {
+        let mb = &self.inner.mailboxes[self.rank];
+        let mut q = mb.q.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.tag == tag) {
+                let m = q.swap_remove(pos);
+                return (m.origin, m.data);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq << 16
+    }
+
+    fn barrier_wait(&mut self) {
+        self.inner.barrier.wait(&mut self.local_sense);
+    }
+
+    /// Clock synchronization at a collective: all ranks meet, the shared
+    /// clock becomes the max, then `cost_s` is added. `payload_bytes` is
+    /// also maxed so all ranks agree on the modeled message size.
+    fn sync_clocks(&mut self, payload_bytes: f64, cost_of: impl Fn(&CostModel, f64, usize) -> f64) {
+        let world = self.inner.world;
+        *self.inner.slots[self.rank].lock() = (self.clock_s, payload_bytes);
+        self.barrier_wait();
+        let mut maxc = f64::NEG_INFINITY;
+        let mut maxb = 0.0f64;
+        for s in &self.inner.slots {
+            let (c, b) = *s.lock();
+            maxc = maxc.max(c);
+            maxb = maxb.max(b);
+        }
+        self.barrier_wait();
+        let cost = cost_of(&self.inner.cost, maxb, world);
+        self.clock_s = maxc + cost;
+    }
+
+    // -- public collectives -------------------------------------------------
+
+    /// Pure synchronization barrier (modeled latency only).
+    pub fn barrier(&mut self) {
+        self.sync_clocks(0.0, |m, _, p| m.barrier(p));
+    }
+
+    /// In-place allreduce-sum with algorithm selection and an optional
+    /// override of the *modeled* wire bytes (for compressed payloads whose
+    /// logical encoding is smaller than the f32 buffer we physically move).
+    pub fn allreduce_sum_with(
+        &mut self,
+        data: &mut [f32],
+        algo: CollectiveAlgo,
+        wire_bytes: Option<f64>,
+    ) {
+        let physical = 4.0 * data.len() as f64;
+        let modeled = wire_bytes.unwrap_or(physical);
+        self.stats.logical_wire_bits += (modeled * 8.0) as u64;
+        if self.inner.world > 1 {
+            match algo {
+                CollectiveAlgo::Ring => self.ring_allreduce(data),
+                CollectiveAlgo::RecursiveDoubling => self.rd_allreduce(data),
+                CollectiveAlgo::Auto => {
+                    let m = self.inner.cost;
+                    if m.ring_allreduce(modeled, self.inner.world)
+                        <= m.recursive_doubling_allreduce(modeled, self.inner.world)
+                    {
+                        self.ring_allreduce(data)
+                    } else {
+                        self.rd_allreduce(data)
+                    }
+                }
+            }
+        }
+        let algo_for_cost = algo;
+        self.sync_clocks(modeled, move |m, b, p| match algo_for_cost {
+            CollectiveAlgo::Ring => m.ring_allreduce(b, p),
+            CollectiveAlgo::RecursiveDoubling => m.recursive_doubling_allreduce(b, p),
+            CollectiveAlgo::Auto => m.allreduce(b, p),
+        });
+    }
+
+    /// In-place allreduce-sum (auto algorithm).
+    pub fn allreduce_sum(&mut self, data: &mut [f32]) {
+        self.allreduce_sum_with(data, CollectiveAlgo::Auto, None);
+    }
+
+    /// In-place allreduce-average (auto algorithm).
+    pub fn allreduce_avg(&mut self, data: &mut [f32]) {
+        self.allreduce_sum(data);
+        let inv = 1.0 / self.inner.world as f32;
+        for v in data.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Ring allgather of a variable-length contribution. Returns all
+    /// contributions indexed by rank. `wire_bytes_each` overrides the
+    /// modeled per-rank message size.
+    pub fn allgather(&mut self, data: &[f32], wire_bytes_each: Option<f64>) -> Vec<Vec<f32>> {
+        let world = self.inner.world;
+        let modeled = wire_bytes_each.unwrap_or(4.0 * data.len() as f64);
+        self.stats.logical_wire_bits += (modeled * 8.0) as u64;
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); world];
+        out[self.rank] = data.to_vec();
+        if world > 1 {
+            let tag = self.next_tag();
+            let right = (self.rank + 1) % world;
+            let mut cur_origin = self.rank;
+            let mut cur = data.to_vec();
+            for step in 0..world - 1 {
+                self.send(right, tag + step as u64, cur_origin, cur);
+                let (origin, got) = self.recv(tag + step as u64);
+                out[origin] = got.clone();
+                cur_origin = origin;
+                cur = got;
+            }
+        }
+        self.sync_clocks(modeled, |m, b, p| m.ring_allgather(b, p));
+        out
+    }
+
+    /// Binomial-tree broadcast from `root`; `data` must be sized correctly
+    /// on every rank (contents are overwritten on non-roots).
+    pub fn broadcast(&mut self, root: usize, data: &mut [f32]) {
+        let world = self.inner.world;
+        let bytes = 4.0 * data.len() as f64;
+        self.stats.logical_wire_bits += if self.rank == root { (bytes * 8.0) as u64 } else { 0 };
+        if world > 1 {
+            let tag = self.next_tag();
+            let vr = (self.rank + world - root) % world;
+            let mut mask = 1usize;
+            // Receive phase: rank vr receives once, from vr - 2^k where 2^k
+            // is the highest power of two ≤ vr.
+            while mask < world {
+                if vr & mask != 0 {
+                    let src_vr = vr - mask;
+                    let _ = src_vr;
+                    let (_, got) = self.recv(tag + mask as u64);
+                    data.copy_from_slice(&got);
+                    break;
+                }
+                mask <<= 1;
+            }
+            // Send phase: from the bit below the one we received on, down
+            // to 1 — the classic binomial tree.
+            let mut smask = if vr == 0 {
+                let mut m = 1usize;
+                while m < world {
+                    m <<= 1;
+                }
+                m >> 1
+            } else {
+                mask >> 1
+            };
+            while smask >= 1 && smask > 0 {
+                let dst_vr = vr + smask;
+                if dst_vr < world {
+                    let dst = (dst_vr + root) % world;
+                    self.send(dst, tag + smask as u64, self.rank, data.to_vec());
+                }
+                if smask == 1 {
+                    break;
+                }
+                smask >>= 1;
+            }
+        }
+        self.sync_clocks(bytes, |m, b, p| m.broadcast(b, p));
+    }
+
+    // -- allreduce algorithm implementations --------------------------------
+
+    fn chunk_bounds(n: usize, p: usize, c: usize) -> (usize, usize) {
+        let base = n / p;
+        let rem = n % p;
+        let lo = c * base + c.min(rem);
+        let hi = lo + base + usize::from(c < rem);
+        (lo, hi)
+    }
+
+    fn ring_allreduce(&mut self, data: &mut [f32]) {
+        let world = self.inner.world;
+        let n = data.len();
+        let tag = self.next_tag();
+        let right = (self.rank + 1) % world;
+
+        // Reduce-scatter.
+        for step in 0..world - 1 {
+            let send_c = (self.rank + world - step) % world;
+            let recv_c = (self.rank + world - step - 1) % world;
+            let (slo, shi) = Self::chunk_bounds(n, world, send_c);
+            self.send(right, tag + step as u64, self.rank, data[slo..shi].to_vec());
+            let (_, got) = self.recv(tag + step as u64);
+            let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
+            debug_assert_eq!(got.len(), rhi - rlo);
+            for (d, g) in data[rlo..rhi].iter_mut().zip(&got) {
+                *d += *g;
+            }
+        }
+        // Allgather.
+        for step in 0..world - 1 {
+            let send_c = (self.rank + 1 + world - step) % world;
+            let recv_c = (self.rank + world - step) % world;
+            let (slo, shi) = Self::chunk_bounds(n, world, send_c);
+            self.send(right, tag + (world - 1 + step) as u64, self.rank, data[slo..shi].to_vec());
+            let (_, got) = self.recv(tag + (world - 1 + step) as u64);
+            let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
+            data[rlo..rhi].copy_from_slice(&got);
+        }
+    }
+
+    fn rd_allreduce(&mut self, data: &mut [f32]) {
+        let world = self.inner.world;
+        let tag = self.next_tag();
+        let mut pow2 = 1usize;
+        while pow2 * 2 <= world {
+            pow2 *= 2;
+        }
+        let rem = world - pow2;
+
+        // Fold: the first 2·rem ranks pair up; even ranks push their data
+        // into odd ranks, which join the power-of-two core.
+        let new_rank: Option<usize> = if self.rank < 2 * rem {
+            if self.rank % 2 == 0 {
+                self.send(self.rank + 1, tag, self.rank, data.to_vec());
+                None
+            } else {
+                let (_, got) = self.recv(tag);
+                for (d, g) in data.iter_mut().zip(&got) {
+                    *d += *g;
+                }
+                Some(self.rank / 2)
+            }
+        } else {
+            Some(self.rank - rem)
+        };
+
+        // Core: recursive doubling among `pow2` ranks.
+        if let Some(nr) = new_rank {
+            let to_real = |vr: usize| if vr < rem { 2 * vr + 1 } else { vr + rem };
+            let mut mask = 1usize;
+            let mut stage = 1u64;
+            while mask < pow2 {
+                let partner = to_real(nr ^ mask);
+                self.send(partner, tag + stage, self.rank, data.to_vec());
+                let (_, got) = self.recv(tag + stage);
+                for (d, g) in data.iter_mut().zip(&got) {
+                    *d += *g;
+                }
+                mask <<= 1;
+                stage += 1;
+            }
+        }
+
+        // Unfold: odd partners return the result to the folded even ranks.
+        if self.rank < 2 * rem {
+            if self.rank % 2 == 1 {
+                self.send(self.rank - 1, tag + 100, self.rank, data.to_vec());
+            } else {
+                let (_, got) = self.recv(tag + 100);
+                data.copy_from_slice(&got);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run_cluster;
+
+    fn reference_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let n = inputs[0].len();
+        let mut out = vec![0.0f32; n];
+        for v in inputs {
+            for i in 0..n {
+                out[i] += v[i];
+            }
+        }
+        out
+    }
+
+    fn gen_inputs(world: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..world)
+            .map(|_| (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect()
+    }
+
+    fn check_allreduce(world: usize, n: usize, algo: CollectiveAlgo) {
+        let inputs = gen_inputs(world, n, world as u64 * 31 + n as u64);
+        let expect = reference_sum(&inputs);
+        let inputs2 = inputs.clone();
+        let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut data = inputs2[h.rank()].clone();
+            h.allreduce_sum_with(&mut data, algo, None);
+            data
+        });
+        for (r, got) in results.iter().enumerate() {
+            for i in 0..n {
+                assert!(
+                    (got[i] - expect[i]).abs() < 1e-3 * (1.0 + expect[i].abs()),
+                    "rank {r} idx {i}: {} vs {}",
+                    got[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_reference() {
+        for world in [2, 3, 4, 5, 8] {
+            for n in [1usize, 7, 64, 1000] {
+                check_allreduce(world, n, CollectiveAlgo::Ring);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_matches_reference() {
+        for world in [2, 3, 4, 6, 8, 16] {
+            for n in [1usize, 33, 500] {
+                check_allreduce(world, n, CollectiveAlgo::RecursiveDoubling);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_reference() {
+        check_allreduce(8, 2, CollectiveAlgo::Auto); // tiny → RD path
+        check_allreduce(8, 100_000, CollectiveAlgo::Auto); // big → ring path
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_identity() {
+        let results = run_cluster(1, NetworkProfile::infiniband_100g(), |h| {
+            let mut data = vec![1.0f32, 2.0, 3.0];
+            h.allreduce_sum(&mut data);
+            data
+        });
+        assert_eq!(results[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn allreduce_avg_divides() {
+        let results = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let mut data = vec![h.rank() as f32; 8];
+            h.allreduce_avg(&mut data);
+            data
+        });
+        for r in results {
+            for v in r {
+                assert!((v - 1.5).abs() < 1e-6); // (0+1+2+3)/4
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_varlen_collects_all() {
+        let results = run_cluster(5, NetworkProfile::infiniband_100g(), |h| {
+            let mine: Vec<f32> = (0..=h.rank()).map(|i| i as f32).collect();
+            h.allgather(&mine, None)
+        });
+        for got in results {
+            assert_eq!(got.len(), 5);
+            for (rank, v) in got.iter().enumerate() {
+                let expect: Vec<f32> = (0..=rank).map(|i| i as f32).collect();
+                assert_eq!(v, &expect, "rank {rank} contribution");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..6 {
+            let results = run_cluster(6, NetworkProfile::infiniband_100g(), move |h| {
+                let mut data = if h.rank() == root {
+                    vec![42.0f32, 7.0, -1.0]
+                } else {
+                    vec![0.0f32; 3]
+                };
+                h.broadcast(root, &mut data);
+                data
+            });
+            for (r, got) in results.iter().enumerate() {
+                assert_eq!(got, &vec![42.0, 7.0, -1.0], "root {root} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_advance_and_agree_after_collectives() {
+        let results = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            h.advance_compute(0.001 * (h.rank() + 1) as f64);
+            let mut d = vec![1.0f32; 1024];
+            h.allreduce_sum(&mut d);
+            h.clock()
+        });
+        // All ranks end at the same simulated time: max compute (0.004) +
+        // collective cost.
+        let t0 = results[0];
+        assert!(t0 > 0.004);
+        for t in results {
+            assert!((t - t0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn logical_wire_bits_override() {
+        let results = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
+            let mut d = vec![0.0f32; 1000];
+            // Model only 64 bits on the wire (A2SGD's two means).
+            h.allreduce_sum_with(&mut d, CollectiveAlgo::Auto, Some(8.0));
+            h.stats().logical_wire_bits
+        });
+        assert!(results.iter().all(|&b| b == 64));
+    }
+
+    #[test]
+    fn traffic_stats_count_physical_bytes() {
+        let results = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
+            let mut d = vec![0.0f32; 100];
+            h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring, None);
+            h.stats()
+        });
+        for s in results {
+            // Ring with P=2: 2·(P−1) = 2 sends of ~half the vector each.
+            assert_eq!(s.messages, 2);
+            assert_eq!(s.bytes_sent, 4 * 100);
+        }
+    }
+
+    #[test]
+    fn many_sequential_collectives_do_not_deadlock() {
+        let results = run_cluster(8, NetworkProfile::infiniband_100g(), |h| {
+            let mut acc = 0.0f64;
+            for i in 0..50 {
+                let mut d = vec![(h.rank() * 50 + i) as f32; 17];
+                h.allreduce_sum(&mut d);
+                acc += d[0] as f64;
+                h.barrier();
+            }
+            acc
+        });
+        let first = results[0];
+        assert!(results.iter().all(|&v| (v - first).abs() < 1e-6));
+    }
+}

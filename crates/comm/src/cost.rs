@@ -1,0 +1,144 @@
+//! Closed-form collective cost functions (Thakur et al., paper ref [46]).
+
+use crate::profile::NetworkProfile;
+
+/// Evaluates collective completion times under a [`NetworkProfile`].
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// The underlying link model.
+    pub profile: NetworkProfile,
+}
+
+impl CostModel {
+    /// Wraps a profile.
+    pub fn new(profile: NetworkProfile) -> Self {
+        CostModel { profile }
+    }
+
+    fn alpha(&self) -> f64 {
+        self.profile.latency_s
+    }
+
+    fn beta_inv(&self) -> f64 {
+        1.0 / self.profile.bandwidth_bps
+    }
+
+    /// Ring allreduce of an `bytes`-byte vector across `p` ranks:
+    /// reduce-scatter + allgather, `2(p−1)` steps of `bytes/p` each.
+    pub fn ring_allreduce(&self, bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        2.0 * (pf - 1.0) * self.alpha() + 2.0 * bytes * (pf - 1.0) / pf * self.beta_inv()
+    }
+
+    /// Recursive-doubling allreduce: `log₂p` steps of the full vector —
+    /// latency-optimal, the right choice for tiny payloads such as
+    /// A2SGD's two means.
+    pub fn recursive_doubling_allreduce(&self, bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p as f64).log2().ceil();
+        steps * (self.alpha() + bytes * self.beta_inv())
+    }
+
+    /// Best-of allreduce: MPI implementations switch algorithms on message
+    /// size; we take the cheaper of ring and recursive doubling.
+    pub fn allreduce(&self, bytes: f64, p: usize) -> f64 {
+        self.ring_allreduce(bytes, p).min(self.recursive_doubling_allreduce(bytes, p))
+    }
+
+    /// Ring allgather where every rank contributes `bytes_each`:
+    /// `(p−1)` steps of `bytes_each`.
+    pub fn ring_allgather(&self, bytes_each: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        (pf - 1.0) * (self.alpha() + bytes_each * self.beta_inv())
+    }
+
+    /// Binomial-tree broadcast of `bytes` from one root.
+    pub fn broadcast(&self, bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64).log2().ceil() * (self.alpha() + bytes * self.beta_inv())
+    }
+
+    /// Latency-only barrier (recursive doubling of empty messages).
+    pub fn barrier(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64).log2().ceil() * self.alpha()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(NetworkProfile::infiniband_100g())
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let m = model();
+        assert_eq!(m.ring_allreduce(1e9, 1), 0.0);
+        assert_eq!(m.ring_allgather(1e9, 1), 0.0);
+        assert_eq!(m.broadcast(1e9, 1), 0.0);
+    }
+
+    #[test]
+    fn ring_approaches_2x_bandwidth_bound() {
+        // For large p the ring allreduce time tends to 2·bytes/β.
+        let m = model();
+        let bytes = 1e9;
+        let t = m.ring_allreduce(bytes, 64);
+        let bound = 2.0 * bytes / m.profile.bandwidth_bps;
+        // Approached from below: 2(p−1)/p < 2, plus a small latency term.
+        assert!(t > 0.95 * bound && t < bound * 1.05, "t={t}, bound={bound}");
+    }
+
+    #[test]
+    fn small_messages_prefer_recursive_doubling() {
+        // 8-byte payload (A2SGD's two means): recursive doubling beats ring
+        // because latency dominates.
+        let m = model();
+        let (small, p) = (8.0, 16);
+        assert!(m.recursive_doubling_allreduce(small, p) < m.ring_allreduce(small, p));
+        // And `allreduce` picks it.
+        assert_eq!(m.allreduce(small, p), m.recursive_doubling_allreduce(small, p));
+    }
+
+    #[test]
+    fn large_messages_prefer_ring() {
+        let m = model();
+        let (big, p) = (264e6, 16); // LSTM-PTB gradient (66M × 4B)
+        assert!(m.ring_allreduce(big, p) < m.recursive_doubling_allreduce(big, p));
+    }
+
+    #[test]
+    fn allgather_beats_allreduce_at_moderate_sizes() {
+        // The paper's §4.4 observation: Gaussian-K's Allgather of k values
+        // is faster than an Allreduce of the full vector, and on fast
+        // networks even competitive with small-payload allreduce patterns.
+        let m = model();
+        let p = 8;
+        let k_bytes = 32e3; // 0.1% of an 8M-param model in bytes
+        let full_bytes = 32e6;
+        assert!(m.ring_allgather(k_bytes, p) < m.allreduce(full_bytes, p));
+    }
+
+    #[test]
+    fn costs_monotone_in_size_and_ranks() {
+        let m = model();
+        assert!(m.ring_allreduce(2e6, 8) > m.ring_allreduce(1e6, 8));
+        assert!(m.ring_allreduce(1e6, 16) > m.ring_allreduce(1e6, 2));
+        assert!(m.barrier(16) > m.barrier(2));
+    }
+}

@@ -1,0 +1,26 @@
+//! # cluster-comm
+//!
+//! An in-process stand-in for the paper's 16-node InfiniBand cluster
+//! (DESIGN.md §2). Each simulated *rank* is a thread; collectives move
+//! real data between ranks through shared-memory mailboxes using the same
+//! algorithms MPI implementations use (ring reduce-scatter/allgather,
+//! recursive doubling, binomial broadcast — Thakur, Rabenseifner & Gropp,
+//! the paper's reference [46]). Wall-clock *time*, however, is modeled
+//! analytically with the Hockney α–β model parameterized by a network
+//! profile, because the actual transport here is a memcpy.
+//!
+//! * [`profile::NetworkProfile`] — α (latency) and β (bandwidth) presets,
+//!   including the paper's 100 Gbps InfiniBand.
+//! * [`cost`] — closed-form collective cost functions.
+//! * [`collective`] — the data-movement implementations + simulated clocks.
+//! * [`sim`] — spawn a cluster of ranks with crossbeam scoped threads.
+
+pub mod collective;
+pub mod cost;
+pub mod profile;
+pub mod sim;
+
+pub use collective::{Cluster, CollectiveAlgo, CommHandle, TrafficStats};
+pub use cost::CostModel;
+pub use profile::NetworkProfile;
+pub use sim::run_cluster;

@@ -1,0 +1,64 @@
+//! Network profiles for the analytic cost model.
+
+/// A Hockney α–β network description: sending an `m`-byte message costs
+/// `α + m/β` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-message latency α in seconds.
+    pub latency_s: f64,
+    /// Bandwidth β in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkProfile {
+    /// The paper's testbed: 100 Gbps InfiniBand (EDR-class), ~1.5 µs
+    /// end-to-end latency.
+    pub fn infiniband_100g() -> Self {
+        NetworkProfile {
+            name: "100Gbps InfiniBand",
+            latency_s: 1.5e-6,
+            bandwidth_bps: 100.0e9 / 8.0,
+        }
+    }
+
+    /// Commodity 10 GbE (for bandwidth-sensitivity ablations).
+    pub fn ethernet_10g() -> Self {
+        NetworkProfile { name: "10GbE", latency_s: 30.0e-6, bandwidth_bps: 10.0e9 / 8.0 }
+    }
+
+    /// Slow 1 GbE (where compression pays off most).
+    pub fn ethernet_1g() -> Self {
+        NetworkProfile { name: "1GbE", latency_s: 50.0e-6, bandwidth_bps: 1.0e9 / 8.0 }
+    }
+
+    /// Time to push `bytes` through one link.
+    pub fn point_to_point(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_cost_is_affine() {
+        let p = NetworkProfile::infiniband_100g();
+        let t0 = p.point_to_point(0.0);
+        let t1 = p.point_to_point(12.5e9); // 1 s of payload at 100 Gbps
+        assert!((t0 - 1.5e-6).abs() < 1e-12);
+        assert!((t1 - t0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiles_ordered_by_speed() {
+        let ib = NetworkProfile::infiniband_100g();
+        let e10 = NetworkProfile::ethernet_10g();
+        let e1 = NetworkProfile::ethernet_1g();
+        let m = 1e6;
+        assert!(ib.point_to_point(m) < e10.point_to_point(m));
+        assert!(e10.point_to_point(m) < e1.point_to_point(m));
+    }
+}

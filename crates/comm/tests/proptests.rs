@@ -1,0 +1,71 @@
+//! Property tests: every collective equals its sequential reference for
+//! arbitrary world sizes and payload lengths.
+
+use cluster_comm::{run_cluster, CollectiveAlgo, NetworkProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_equals_reference(world in 1usize..9, n in 0usize..300, seed in 0u64..500,
+                                  algo_pick in 0u8..3) {
+        let algo = match algo_pick {
+            0 => CollectiveAlgo::Ring,
+            1 => CollectiveAlgo::RecursiveDoubling,
+            _ => CollectiveAlgo::Auto,
+        };
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> =
+            (0..world).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let mut expect = vec![0.0f32; n];
+        for v in &inputs {
+            for i in 0..n {
+                expect[i] += v[i];
+            }
+        }
+        let inputs2 = inputs.clone();
+        let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut d = inputs2[h.rank()].clone();
+            h.allreduce_sum_with(&mut d, algo, None);
+            d
+        });
+        for got in results {
+            for i in 0..n {
+                prop_assert!((got[i] - expect[i]).abs() < 1e-3 * (1.0 + expect[i].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_every_contribution(world in 1usize..8, base in 0usize..20, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..base + r).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let inputs2 = inputs.clone();
+        let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            h.allgather(&inputs2[h.rank()], None)
+        });
+        for got in results {
+            prop_assert_eq!(&got, &inputs);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all(world in 1usize..9, root_pick in 0usize..9, n in 1usize..50) {
+        let root = root_pick % world;
+        let payload: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let expect = payload.clone();
+        let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut d = if h.rank() == root { payload.clone() } else { vec![0.0f32; n] };
+            h.broadcast(root, &mut d);
+            d
+        });
+        for got in results {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Dense (uncompressed) distributed SGD — the paper's "Dense" baseline.
+
+use crate::{GradientSynchronizer, SyncStats};
+use cluster_comm::CommHandle;
+use std::time::Instant;
+
+/// Full-gradient allreduce-average: 32n bits per worker, no local gradient
+/// processing (the paper's Table 2 lists its computation as O(1)).
+#[derive(Debug, Default)]
+pub struct DenseSgd;
+
+impl DenseSgd {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        DenseSgd
+    }
+}
+
+impl GradientSynchronizer for DenseSgd {
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let t0 = Instant::now();
+        let compress_seconds = t0.elapsed().as_secs_f64(); // no processing
+        comm.allreduce_avg(grad);
+        SyncStats { compress_seconds, wire_bits: self.wire_bits_formula(grad.len()) }
+    }
+
+    fn wire_bits_formula(&self, n: usize) -> u64 {
+        32 * n as u64
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(1)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_comm::{run_cluster, NetworkProfile};
+
+    #[test]
+    fn dense_sync_averages_exactly() {
+        let out = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let mut g = vec![(h.rank() + 1) as f32; 16];
+            let mut d = DenseSgd::new();
+            let stats = d.synchronize(&mut g, h);
+            (g, stats)
+        });
+        for (g, stats) in out {
+            assert!(g.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+            assert_eq!(stats.wire_bits, 32 * 16);
+        }
+    }
+
+    #[test]
+    fn formula_is_32n() {
+        assert_eq!(DenseSgd::new().wire_bits_formula(66_034_000), 32 * 66_034_000);
+    }
+}

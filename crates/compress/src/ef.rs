@@ -1,0 +1,78 @@
+//! Error-feedback memory (Stich et al.; Karimireddy et al.).
+//!
+//! Sparsified/quantized SGD keeps a worker-local residual `m`: each
+//! iteration compresses `g + m` and stores back whatever the compressor
+//! dropped. This preserves the *sum* of updates over time, which is the key
+//! to the convergence guarantees the paper cites.
+
+/// Worker-local error-feedback buffer.
+#[derive(Debug, Clone)]
+pub struct ErrorFeedback {
+    memory: Vec<f32>,
+}
+
+impl ErrorFeedback {
+    /// Zero-initialised memory for an `n`-parameter model.
+    pub fn new(n: usize) -> Self {
+        ErrorFeedback { memory: vec![0.0; n] }
+    }
+
+    /// Adds the memory into `grad` (call before compressing).
+    pub fn apply(&self, grad: &mut [f32]) {
+        assert_eq!(grad.len(), self.memory.len());
+        for (g, m) in grad.iter_mut().zip(&self.memory) {
+            *g += *m;
+        }
+    }
+
+    /// Stores `accumulated − transmitted` as the next iteration's memory.
+    /// `transmitted` is the local decoded contribution (what the compressor
+    /// kept of this worker's accumulated gradient).
+    pub fn absorb(&mut self, accumulated: &[f32], transmitted: &[f32]) {
+        assert_eq!(accumulated.len(), self.memory.len());
+        assert_eq!(transmitted.len(), self.memory.len());
+        for i in 0..self.memory.len() {
+            self.memory[i] = accumulated[i] - transmitted[i];
+        }
+    }
+
+    /// Current residual (for tests/diagnostics).
+    pub fn residual(&self) -> &[f32] {
+        &self.memory
+    }
+
+    /// l2 norm of the residual.
+    pub fn residual_norm(&self) -> f64 {
+        self.memory.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_then_absorb_conserves_mass() {
+        // Invariant: accumulated = transmitted + residual, exactly.
+        let mut ef = ErrorFeedback::new(4);
+        let mut grad = vec![1.0f32, -2.0, 3.0, -4.0];
+        ef.apply(&mut grad); // memory 0 → unchanged
+        let acc = grad.clone();
+        let transmitted = vec![1.0f32, 0.0, 3.0, 0.0]; // pretend top-2 kept
+        ef.absorb(&acc, &transmitted);
+        assert_eq!(ef.residual(), &[0.0, -2.0, 0.0, -4.0]);
+
+        // Next iteration: residual folds back in.
+        let mut g2 = vec![0.5f32; 4];
+        ef.apply(&mut g2);
+        assert_eq!(g2, vec![0.5, -1.5, 0.5, -3.5]);
+    }
+
+    #[test]
+    fn zero_compression_error_means_zero_residual() {
+        let mut ef = ErrorFeedback::new(3);
+        let acc = vec![1.0f32, 2.0, 3.0];
+        ef.absorb(&acc, &acc);
+        assert!(ef.residual_norm() == 0.0);
+    }
+}

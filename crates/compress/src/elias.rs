@@ -1,0 +1,166 @@
+//! Bit-level I/O and Elias gamma coding.
+//!
+//! QSGD (Alistarh et al.) encodes quantization levels with Elias integer
+//! codes; the paper's "2.8n + 32 bits" row in Table 2 is the expected
+//! encoded size at its quantization level. We implement the real coder so
+//! wire sizes can be *measured*, not just quoted.
+
+/// Append-only bit buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let byte_idx = self.bit_len / 8;
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << (self.bit_len % 8);
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends the low `n` bits of `v`, most-significant first.
+    pub fn push_bits(&mut self, v: u64, n: u32) {
+        for i in (0..n).rev() {
+            self.push_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// The backing bytes (last byte possibly partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Sequential bit reader over a [`BitWriter`]'s output.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit_len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps the bytes produced by a writer with the given bit length.
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        BitReader { bytes, pos: 0, bit_len }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bit_len {
+            return None;
+        }
+        let b = (self.bytes[self.pos / 8] >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads `n` bits MSB-first.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+}
+
+/// Elias gamma code for positive integers: `⌊log₂v⌋` zeros, then `v`'s
+/// binary representation.
+pub fn gamma_encode(w: &mut BitWriter, v: u64) {
+    assert!(v >= 1, "gamma code requires v ≥ 1");
+    let nbits = 64 - v.leading_zeros();
+    for _ in 0..nbits - 1 {
+        w.push_bit(false);
+    }
+    w.push_bits(v, nbits);
+}
+
+/// Decodes one gamma-coded integer.
+pub fn gamma_decode(r: &mut BitReader<'_>) -> Option<u64> {
+    let mut zeros = 0u32;
+    loop {
+        match r.read_bit()? {
+            false => zeros += 1,
+            true => break,
+        }
+    }
+    let rest = if zeros == 0 { 0 } else { r.read_bits(zeros)? };
+    Some((1u64 << zeros) | rest)
+}
+
+/// Encoded size of `v` in bits (2⌊log₂v⌋ + 1).
+pub fn gamma_len(v: u64) -> usize {
+    debug_assert!(v >= 1);
+    let nbits = 64 - v.leading_zeros();
+    (2 * (nbits - 1) + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bit(true);
+        w.push_bits(0xFF00FF, 24);
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(24), Some(0xFF00FF));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn gamma_roundtrip_small_and_large() {
+        let vals = [1u64, 2, 3, 4, 7, 8, 100, 1023, 1024, 999_983];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            gamma_encode(&mut w, v);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        for &v in &vals {
+            assert_eq!(gamma_decode(&mut r), Some(v));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn gamma_len_matches_actual() {
+        for v in 1u64..200 {
+            let mut w = BitWriter::new();
+            gamma_encode(&mut w, v);
+            assert_eq!(w.bit_len(), gamma_len(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn gamma_one_is_single_bit() {
+        let mut w = BitWriter::new();
+        gamma_encode(&mut w, 1);
+        assert_eq!(w.bit_len(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! # gradcomp
+//!
+//! Gradient-synchronization algorithms: the dense baseline and the
+//! compression baselines the paper evaluates against (Top-K, Gaussian-K,
+//! QSGD) plus three extensions from its related-work section (Rand-K,
+//! TernGrad, EF-SignSGD). The paper's own contribution, A2SGD, lives in the
+//! `a2sgd` core crate and implements the same [`GradientSynchronizer`]
+//! trait.
+//!
+//! Every synchronizer owns its worker-local state (error-feedback memory,
+//! RNG streams) and performs one collective exchange per call through a
+//! [`cluster_comm::CommHandle`]. Wire sizes are accounted in *logical bits*
+//! (what a real network would carry — Table 2's third column), independent
+//! of the f32 buffers the in-process transport physically copies.
+
+pub mod dense;
+pub mod ef;
+pub mod elias;
+pub mod gaussiank;
+pub mod qsgd;
+pub mod randk;
+pub mod signsgd;
+pub mod sparse;
+pub mod special;
+pub mod terngrad;
+pub mod topk;
+
+pub use dense::DenseSgd;
+pub use gaussiank::GaussianK;
+pub use qsgd::{Qsgd, QsgdImpl};
+pub use randk::RandK;
+pub use signsgd::SignSgdEf;
+pub use terngrad::TernGrad;
+pub use topk::TopK;
+
+use cluster_comm::CommHandle;
+
+/// Per-iteration synchronization accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SyncStats {
+    /// Seconds spent compressing/selecting/encoding on this worker
+    /// (measured wall time).
+    pub compress_seconds: f64,
+    /// Logical bits this worker put on the wire.
+    pub wire_bits: u64,
+}
+
+/// A distributed gradient-synchronization algorithm.
+///
+/// `synchronize` replaces the local gradient with the algorithm's global
+/// estimate of the averaged gradient; whatever information is lost must be
+/// handled by the algorithm's own state (e.g. error feedback) so that
+/// training still converges.
+pub trait GradientSynchronizer: Send {
+    /// Display name (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Synchronizes `grad` across ranks in place.
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats;
+
+    /// Closed-form wire bits per worker for an `n`-parameter model
+    /// (Table 2 column 3).
+    fn wire_bits_formula(&self, n: usize) -> u64;
+
+    /// Asymptotic computation complexity label (Table 2 column 2).
+    fn complexity(&self) -> &'static str;
+}
+
+/// Baseline algorithm registry (A2SGD and its variants are added by the
+/// `a2sgd` crate's registry, which wraps this one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaselineKind {
+    /// Uncompressed allreduce.
+    Dense,
+    /// Top-K sparsification with error feedback; field is the density
+    /// ratio k/n.
+    TopK(f32),
+    /// Gaussian-threshold sparsification; field is the density ratio.
+    GaussianK(f32),
+    /// QSGD stochastic quantization; field is the number of levels.
+    Qsgd(u8),
+    /// Random-K sparsification; field is the density ratio.
+    RandK(f32),
+    /// Ternary gradients.
+    TernGrad,
+    /// Error-feedback SignSGD.
+    SignSgd,
+}
+
+impl BaselineKind {
+    /// Instantiates the synchronizer for a model of `n` parameters;
+    /// `seed` feeds the stochastic algorithms, `rank` decorrelates
+    /// worker-local streams.
+    pub fn build(&self, n: usize, seed: u64, rank: usize) -> Box<dyn GradientSynchronizer> {
+        match *self {
+            BaselineKind::Dense => Box::new(DenseSgd::new()),
+            BaselineKind::TopK(r) => Box::new(TopK::new(n, r)),
+            BaselineKind::GaussianK(r) => Box::new(GaussianK::new(n, r)),
+            BaselineKind::Qsgd(s) => Box::new(Qsgd::new(s, QsgdImpl::Fast, seed ^ rank as u64)),
+            BaselineKind::RandK(r) => Box::new(RandK::new(n, r, seed ^ rank as u64)),
+            BaselineKind::TernGrad => Box::new(TernGrad::new(seed ^ rank as u64)),
+            BaselineKind::SignSgd => Box::new(SignSgdEf::new(n)),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared sparse-payload machinery for the k-selection family.
+//!
+//! A sparse contribution is `(index, value)` pairs. For the in-process
+//! allgather transport we pack each pair into two f32 lanes — the index
+//! lane stores the `u32` index **bit-cast** to f32, which is exact (no
+//! float rounding of indices).
+
+/// Packs `(idx, val)` pairs into an f32 transport buffer.
+pub fn pack(idx: &[u32], val: &[f32]) -> Vec<f32> {
+    assert_eq!(idx.len(), val.len());
+    let mut out = Vec::with_capacity(2 * idx.len());
+    for (&i, &v) in idx.iter().zip(val) {
+        out.push(f32::from_bits(i));
+        out.push(v);
+    }
+    out
+}
+
+/// Unpacks a transport buffer back into `(idx, val)` pairs.
+pub fn unpack(buf: &[f32]) -> (Vec<u32>, Vec<f32>) {
+    assert!(buf.len() % 2 == 0, "sparse payload must be (idx,val) pairs");
+    let mut idx = Vec::with_capacity(buf.len() / 2);
+    let mut val = Vec::with_capacity(buf.len() / 2);
+    for pair in buf.chunks_exact(2) {
+        idx.push(pair[0].to_bits());
+        val.push(pair[1]);
+    }
+    (idx, val)
+}
+
+/// Scatters one worker's sparse contribution into a dense buffer.
+pub fn scatter_into(dense: &mut [f32], idx: &[u32], val: &[f32], scale: f32) {
+    for (&i, &v) in idx.iter().zip(val) {
+        dense[i as usize] += v * scale;
+    }
+}
+
+/// Averages all gathered sparse contributions into `out` (zeroed first):
+/// `out = (1/P) Σ_p scatter(payload_p)` — the sparse analogue of
+/// allreduce-average used by Top-K/Gaussian-K/Rand-K.
+pub fn average_gathered(out: &mut [f32], gathered: &[Vec<f32>]) {
+    out.fill(0.0);
+    let inv = 1.0 / gathered.len() as f32;
+    for payload in gathered {
+        let (idx, val) = unpack(payload);
+        scatter_into(out, &idx, &val, inv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_exact_indices() {
+        let idx = vec![0u32, 1, 65_537, 4_000_000_000];
+        let val = vec![0.5f32, -1.25, 3.0, f32::MIN_POSITIVE];
+        let buf = pack(&idx, &val);
+        let (i2, v2) = unpack(&buf);
+        assert_eq!(i2, idx);
+        assert_eq!(v2, val);
+    }
+
+    #[test]
+    fn average_gathered_matches_dense_average() {
+        // Two workers with overlapping sparse supports.
+        let w0 = pack(&[0, 2], &[2.0, 4.0]);
+        let w1 = pack(&[2, 3], &[6.0, 8.0]);
+        let mut out = vec![0.0f32; 5];
+        average_gathered(&mut out, &[w0, w1]);
+        assert_eq!(out, vec![1.0, 0.0, 5.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_payload_rejected() {
+        let _ = unpack(&[1.0, 2.0, 3.0]);
+    }
+}

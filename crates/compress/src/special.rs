@@ -1,0 +1,74 @@
+//! Special functions needed by Gaussian-K's threshold estimator.
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e−7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse error function: Winitzki initial guess + two Newton steps
+/// (relative error < 1e−8 on (−1, 1)).
+pub fn erfinv(y: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&y), "erfinv domain");
+    if y == 1.0 {
+        return f64::INFINITY;
+    }
+    if y == -1.0 {
+        return f64::NEG_INFINITY;
+    }
+    // Winitzki approximation.
+    let a = 0.147;
+    let ln1my2 = (1.0 - y * y).ln();
+    let term1 = 2.0 / (std::f64::consts::PI * a) + ln1my2 / 2.0;
+    let mut x = (y.signum()) * ((term1 * term1 - ln1my2 / a).sqrt() - term1).sqrt();
+    // Newton refinement on erf(x) − y = 0; erf'(x) = 2/√π · e^(−x²).
+    for _ in 0..2 {
+        let err = erf(x) - y;
+        let deriv = 2.0 / std::f64::consts::PI.sqrt() * (-x * x).exp();
+        x -= err / deriv;
+    }
+    x
+}
+
+/// Standard-normal quantile: Φ⁻¹(p) = √2 · erfinv(2p − 1).
+pub fn norm_quantile(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    std::f64::consts::SQRT_2 * erfinv(2.0 * p - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // erf(0) = 0, erf(1) ≈ 0.8427008, erf(2) ≈ 0.9953223
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf(2.0) - 0.9953223).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
+    }
+
+    #[test]
+    fn erfinv_inverts_erf() {
+        for x in [-2.0, -0.7, -0.1, 0.0, 0.3, 1.1, 2.3] {
+            let y = erf(x);
+            assert!((erfinv(y) - x).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn norm_quantile_known_values() {
+        // Φ⁻¹(0.975) ≈ 1.959964
+        assert!((norm_quantile(0.975) - 1.959964).abs() < 1e-3);
+        assert!(norm_quantile(0.5).abs() < 1e-6);
+        assert!((norm_quantile(0.8413) - 1.0).abs() < 2e-3);
+    }
+}

@@ -1,0 +1,110 @@
+//! TernGrad ternary quantization (Wen et al., paper ref [20]).
+
+use crate::{GradientSynchronizer, SyncStats};
+use cluster_comm::CommHandle;
+use mini_tensor::rng::SeedRng;
+use std::time::Instant;
+
+/// Quantizes each coordinate to `{−s, 0, +s}` with `s = max|g|` and
+/// `P(±s) = |g_i|/s` — unbiased, ~1.58 bits per coordinate on the wire.
+pub struct TernGrad {
+    rng: SeedRng,
+}
+
+impl TernGrad {
+    /// Creates TernGrad with a seeded dithering stream.
+    pub fn new(seed: u64) -> Self {
+        TernGrad { rng: SeedRng::new(seed) }
+    }
+
+    /// Quantizes in place, returning the scale `s`.
+    pub fn ternarize(&mut self, g: &mut [f32]) -> f32 {
+        let s = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if s == 0.0 {
+            return 0.0;
+        }
+        for v in g.iter_mut() {
+            let p = v.abs() / s;
+            *v = if self.rng.flip(p) { s * v.signum() } else { 0.0 };
+        }
+        s
+    }
+}
+
+impl GradientSynchronizer for TernGrad {
+    fn name(&self) -> &'static str {
+        "TernGrad"
+    }
+
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let t0 = Instant::now();
+        let _s = self.ternarize(grad);
+        let compress_seconds = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_seconds);
+        // Exchange ternarized gradients; log₂3 ≈ 1.585 bits/coordinate.
+        let wire_bits = self.wire_bits_formula(grad.len());
+        comm.allreduce_sum_with(
+            grad,
+            cluster_comm::CollectiveAlgo::Auto,
+            Some(wire_bits as f64 / 8.0),
+        );
+        let inv = 1.0 / comm.world() as f32;
+        for v in grad.iter_mut() {
+            *v *= inv;
+        }
+        SyncStats { compress_seconds, wire_bits }
+    }
+
+    fn wire_bits_formula(&self, n: usize) -> u64 {
+        (1.585 * n as f64).round() as u64 + 32
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(n)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_tensor::rng::SeedRng;
+
+    #[test]
+    fn output_is_ternary() {
+        let mut tg = TernGrad::new(1);
+        let mut rng = SeedRng::new(2);
+        let mut g: Vec<f32> = (0..500).map(|_| rng.randn()).collect();
+        let s = tg.ternarize(&mut g);
+        assert!(s > 0.0);
+        for v in &g {
+            assert!(*v == 0.0 || (v.abs() - s).abs() < 1e-6, "non-ternary {v}");
+        }
+    }
+
+    #[test]
+    fn ternarization_is_unbiased() {
+        let g0 = vec![0.4f32, -0.8, 0.1, 1.0];
+        let mut acc = vec![0.0f64; 4];
+        let trials = 6000;
+        let mut tg = TernGrad::new(7);
+        for _ in 0..trials {
+            let mut g = g0.clone();
+            tg.ternarize(&mut g);
+            for (a, v) in acc.iter_mut().zip(&g) {
+                *a += *v as f64;
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let mean = a / trials as f64;
+            assert!((mean - g0[i] as f64).abs() < 0.03, "coord {i}: {mean} vs {}", g0[i]);
+        }
+    }
+
+    #[test]
+    fn zero_input_zero_output() {
+        let mut tg = TernGrad::new(3);
+        let mut g = vec![0.0f32; 8];
+        assert_eq!(tg.ternarize(&mut g), 0.0);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+}

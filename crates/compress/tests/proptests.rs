@@ -1,0 +1,102 @@
+//! Property-based tests for the compression algorithms' core invariants.
+
+use gradcomp::ef::ErrorFeedback;
+use gradcomp::elias::{gamma_decode, gamma_encode, BitReader, BitWriter};
+use gradcomp::sparse;
+use gradcomp::topk::TopK;
+use gradcomp::{Qsgd, QsgdImpl};
+use proptest::prelude::*;
+
+fn small_grad(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn error_feedback_conserves_mass(g in small_grad(64), keep_mask in prop::collection::vec(any::<bool>(), 64)) {
+        // For ANY split into kept/dropped coordinates:
+        // accumulated == kept + residual exactly.
+        let n = g.len();
+        let mut ef = ErrorFeedback::new(n);
+        let mut acc = g.clone();
+        ef.apply(&mut acc);
+        let kept: Vec<f32> = acc
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if *keep_mask.get(i).unwrap_or(&false) { v } else { 0.0 })
+            .collect();
+        ef.absorb(&acc, &kept);
+        for i in 0..n {
+            prop_assert!((kept[i] + ef.residual()[i] - acc[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn topk_selects_max_magnitude_set(g in small_grad(48), k in 1usize..20) {
+        let k = k.min(g.len());
+        let idx = TopK::select(&g, k);
+        prop_assert_eq!(idx.len(), k.min(g.len()));
+        // Every selected magnitude ≥ every unselected magnitude.
+        let selected: std::collections::HashSet<u32> = idx.iter().copied().collect();
+        let min_sel = idx.iter().map(|&i| g[i as usize].abs()).fold(f32::INFINITY, f32::min);
+        for (i, &v) in g.iter().enumerate() {
+            if !selected.contains(&(i as u32)) {
+                prop_assert!(v.abs() <= min_sel + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn qsgd_decode_error_bounded_by_norm_over_s(g in small_grad(32), s in 1u8..16) {
+        // QSGD's per-coordinate error is at most one level: norm/s.
+        let mut q = Qsgd::new(s, QsgdImpl::Fast, 11);
+        let qg = q.quantize(&g);
+        let mut out = vec![0.0f32; g.len()];
+        Qsgd::dequantize(&qg, s, &mut out);
+        let bound = qg.norm / s as f32 + 1e-5;
+        for (a, b) in g.iter().zip(&out) {
+            prop_assert!((a - b).abs() <= bound, "{a} vs {b}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn elias_gamma_roundtrips(vals in prop::collection::vec(1u64..1_000_000_000, 1..64)) {
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            gamma_encode(&mut w, v);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        for &v in &vals {
+            prop_assert_eq!(gamma_decode(&mut r), Some(v));
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn sparse_pack_unpack_roundtrips(pairs in prop::collection::vec((0u32..1_000_000, -5.0f32..5.0), 0..64)) {
+        let idx: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let val: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let buf = sparse::pack(&idx, &val);
+        let (i2, v2) = sparse::unpack(&buf);
+        prop_assert_eq!(i2, idx);
+        prop_assert_eq!(v2, val);
+    }
+
+    #[test]
+    fn average_gathered_is_linear_in_workers(g in small_grad(32)) {
+        // Gathering the SAME payload P times averages back to itself.
+        let n = g.len();
+        let idx: Vec<u32> = (0..n as u32).collect();
+        let payload = sparse::pack(&idx, &g);
+        for p in [1usize, 2, 5] {
+            let gathered: Vec<Vec<f32>> = (0..p).map(|_| payload.clone()).collect();
+            let mut out = vec![0.0f32; n];
+            sparse::average_gathered(&mut out, &gathered);
+            for (a, b) in out.iter().zip(&g) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Experiment configurations: the paper's Table 1 plus CI-scale presets.
+
+use crate::registry::AlgoKind;
+use crate::trainer::{OptKind, TrainConfig};
+use cluster_comm::NetworkProfile;
+use mini_nn::models::{ModelKind, Preset};
+use mini_nn::schedule::LrSchedule;
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Model name.
+    pub model: ModelKind,
+    /// Dataset name as in the paper.
+    pub dataset: &'static str,
+    /// Paper parameter count.
+    pub params: usize,
+    /// Global batch size.
+    pub batch: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// LR policy string.
+    pub policy: &'static str,
+    /// Training epochs in the paper's convergence study.
+    pub epochs: usize,
+}
+
+/// The paper's Table 1, verbatim.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            model: ModelKind::Fnn3,
+            dataset: "MNIST",
+            params: 199_210,
+            batch: 128,
+            lr: 0.01,
+            policy: "LS(1x) + GW + PD",
+            epochs: 30,
+        },
+        Table1Row {
+            model: ModelKind::Vgg16,
+            dataset: "CIFAR10",
+            params: 14_728_266,
+            batch: 128,
+            lr: 0.1,
+            policy: "LS(1.5x) + GW + PD + LARS",
+            epochs: 150,
+        },
+        Table1Row {
+            model: ModelKind::ResNet20,
+            dataset: "CIFAR10",
+            params: 269_722,
+            batch: 128,
+            lr: 0.1,
+            policy: "LS(1x) + GW + PD",
+            epochs: 150,
+        },
+        Table1Row {
+            model: ModelKind::LstmPtb,
+            dataset: "PTB",
+            params: 66_034_000,
+            batch: 128,
+            lr: 22.0,
+            policy: "PD",
+            epochs: 100,
+        },
+    ]
+}
+
+/// The paper's LR policy for `model` instantiated at `workers` workers and
+/// `epochs` total epochs.
+pub fn paper_lr_policy(model: ModelKind, workers: usize, epochs: usize, base_lr: f32) -> LrSchedule {
+    let mut s = LrSchedule::constant(base_lr);
+    s.total_epochs = epochs as f32;
+    match model {
+        // "LS(kx)" is read as a fixed k-times multiplier of the base rate
+        // (the global batch is fixed at 128 in Table 1, so there is no
+        // per-worker batch growth to compensate). Scaling by worker count
+        // instead destabilises the higher-variance residual-retaining
+        // updates (A2SGD diverges at P >= 8) - see EXPERIMENTS.md.
+        ModelKind::Fnn3 | ModelKind::ResNet20 => {
+            let _ = workers;
+            s.linear_scale = 1.0;
+            s.warmup_epochs = (epochs as f32 * 0.1).max(1.0);
+            s.poly_power = 2.0;
+        }
+        ModelKind::Vgg16 => {
+            s.linear_scale = 1.5;
+            s.warmup_epochs = (epochs as f32 * 0.1).max(1.0);
+            s.poly_power = 2.0;
+        }
+        ModelKind::LstmPtb => {
+            s.poly_power = 2.0; // PD only
+        }
+    }
+    s
+}
+
+/// Optimizer per Table 1 (LARS only for VGG-16).
+pub fn paper_optimizer(model: ModelKind) -> OptKind {
+    match model {
+        ModelKind::Vgg16 => {
+            OptKind::Lars { momentum: 0.9, weight_decay: 5e-4, trust: 1e-2 }
+        }
+        ModelKind::LstmPtb => OptKind::Sgd { momentum: 0.0, weight_decay: 0.0 },
+        _ => OptKind::Sgd { momentum: 0.9, weight_decay: 1e-4 },
+    }
+}
+
+/// CI-scale convergence experiment (Figures 3/6/7/8 shape reproduction):
+/// small synthetic datasets, scaled model widths, a few epochs. The base
+/// LR is re-tuned per scaled model (documented in EXPERIMENTS.md).
+pub fn scaled_convergence_config(
+    model: ModelKind,
+    algo: AlgoKind,
+    workers: usize,
+    seed: u64,
+) -> TrainConfig {
+    let (epochs, train_size, eval_size, batch, base_lr) = match model {
+        ModelKind::Fnn3 => (6, 1920, 480, 16, 0.01),
+        ModelKind::Vgg16 => (5, 640, 160, 8, 0.02),
+        ModelKind::ResNet20 => (5, 640, 160, 8, 0.02),
+        ModelKind::LstmPtb => (6, 960, 240, 16, 4.0),
+    };
+    let lr = paper_lr_policy(model, workers, epochs, base_lr);
+    TrainConfig {
+        model,
+        preset: Preset::Scaled,
+        algo,
+        workers,
+        epochs,
+        batch_per_worker: batch,
+        train_size,
+        eval_size,
+        lr,
+        opt: match model {
+            // LARS on the tiny VGG is unnecessary; keep it for fidelity.
+            _ => paper_optimizer(model),
+        },
+        seed,
+        profile: NetworkProfile::infiniband_100g(),
+        grad_hist_iters: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].params, 199_210);
+        assert_eq!(t[1].params, 14_728_266);
+        assert_eq!(t[2].params, 269_722);
+        assert_eq!(t[3].params, 66_034_000);
+        assert!(t.iter().all(|r| r.batch == 128));
+        assert_eq!(t[3].lr, 22.0);
+    }
+
+    #[test]
+    fn lstm_policy_is_pd_only() {
+        let s = paper_lr_policy(ModelKind::LstmPtb, 8, 100, 22.0);
+        assert_eq!(s.warmup_epochs, 0.0);
+        assert_eq!(s.workers, 1); // no linear scaling
+        assert!(s.poly_power > 0.0);
+        assert!((s.lr_at(0.0) - 22.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vgg_policy_scales_by_1_5x() {
+        let s = paper_lr_policy(ModelKind::Vgg16, 8, 150, 0.1);
+        assert!((s.peak_lr() - 0.1 * 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scaled_configs_are_runnable_sizes() {
+        for model in ModelKind::ALL {
+            let c = scaled_convergence_config(model, AlgoKind::A2sgd, 8, 1);
+            // Shards must have at least one full batch per worker.
+            assert!(c.train_size / c.workers / c.batch_per_worker >= 1, "{model:?}");
+        }
+    }
+}

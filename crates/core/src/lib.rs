@@ -1,0 +1,39 @@
+//! # a2sgd — Two-Level Gradient Averaging with O(1) Communication
+//!
+//! The paper's primary contribution (Bhattacharya, Yu & Chowdhury,
+//! CLUSTER 2021): every worker consolidates its full gradient into **two
+//! scalars** — the absolute mean of its non-negative entries `µ+` and of
+//! its negative entries `µ−` — allreduces only those 64 bits, and restores
+//! per-coordinate variance by adding back the locally-retained residual
+//! `ε = g − enc(g)` within the same iteration (Algorithm 1).
+//!
+//! * [`mean2`] — the single-pass two-level averaging kernels (`split_means`,
+//!   `enc`, residual) — the O(n)-compute / O(1)-communication heart.
+//! * [`algorithm`] — [`algorithm::A2sgd`], the Algorithm-1
+//!   [`gradcomp::GradientSynchronizer`].
+//! * [`variants`] — extensions: the paper's §4.4 future-work
+//!   Allgather-based exchange, a carried-error ablation, and a generalized
+//!   L-level (bucketed-means) family.
+//! * [`registry`] — unified algorithm registry (baselines + A2SGD family).
+//! * [`trainer`] — the synchronous data-parallel training loop over the
+//!   simulated cluster, reproducing the paper's evaluation pipeline.
+//! * [`metrics`] — accuracy/perplexity/throughput/scaling-efficiency.
+//! * [`theory`] — convergence-analysis probes (Assumption 3, Lyapunov h_t)
+//!   on analytically-solvable distributed quadratics.
+//! * [`experiments`] — Table-1 configurations and scaled presets.
+//! * [`report`] — CSV/table output helpers for the figure regenerators.
+
+pub mod algorithm;
+pub mod experiments;
+pub mod mean2;
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod theory;
+pub mod trainer;
+pub mod variants;
+
+pub use algorithm::A2sgd;
+pub use mean2::{enc_into, restore_with_global_means, split_means, TwoMeans};
+pub use registry::AlgoKind;
+pub use trainer::{OptKind, TrainConfig, TrainReport};

@@ -1,0 +1,269 @@
+//! Single-pass two-level averaging kernels (paper §3.1).
+//!
+//! For a gradient `v ∈ Rⁿ`:
+//! `µ+(v) = E[v_i | v_i ≥ 0]`, `µ−(v) = E[|v_i| | v_i < 0]`, and
+//! `enc(v) = pos(v)·µ+ − neg(v)·µ−` where `pos`/`neg` are indicator
+//! vectors. The kernels below compute the means, the encoding, and the
+//! residual without materialising the indicator vectors — the sign of the
+//! original gradient *is* the mask, stored once as a packed bitset.
+
+use mini_tensor::par;
+
+/// The two local averages plus their population counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoMeans {
+    /// Mean of non-negative entries (0 when there are none).
+    pub mu_pos: f32,
+    /// Mean of |negative entries| (0 when there are none).
+    pub mu_neg: f32,
+    /// Count of non-negative entries.
+    pub n_pos: usize,
+    /// Count of negative entries.
+    pub n_neg: usize,
+}
+
+/// Computes `µ+` and `µ−` in one parallel pass.
+pub fn split_means(g: &[f32]) -> TwoMeans {
+    #[derive(Clone, Copy)]
+    struct Acc {
+        pos_sum: f64,
+        neg_sum: f64,
+        n_pos: usize,
+        n_neg: usize,
+    }
+    impl std::ops::Add for Acc {
+        type Output = Acc;
+        fn add(self, o: Acc) -> Acc {
+            Acc {
+                pos_sum: self.pos_sum + o.pos_sum,
+                neg_sum: self.neg_sum + o.neg_sum,
+                n_pos: self.n_pos + o.n_pos,
+                n_neg: self.n_neg + o.n_neg,
+            }
+        }
+    }
+    let z = Acc { pos_sum: 0.0, neg_sum: 0.0, n_pos: 0, n_neg: 0 };
+    let acc = par::par_reduce_indexed(g.len(), z, |lo, hi| {
+        let mut a = z;
+        for &v in &g[lo..hi] {
+            if v >= 0.0 {
+                a.pos_sum += v as f64;
+                a.n_pos += 1;
+            } else {
+                a.neg_sum += (-v) as f64;
+                a.n_neg += 1;
+            }
+        }
+        a
+    });
+    TwoMeans {
+        mu_pos: if acc.n_pos > 0 { (acc.pos_sum / acc.n_pos as f64) as f32 } else { 0.0 },
+        mu_neg: if acc.n_neg > 0 { (acc.neg_sum / acc.n_neg as f64) as f32 } else { 0.0 },
+        n_pos: acc.n_pos,
+        n_neg: acc.n_neg,
+    }
+}
+
+/// Packed sign bitset: bit i set ⇔ `g[i] ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SignMask {
+    /// Captures the sign pattern of `g`.
+    pub fn capture(g: &[f32]) -> Self {
+        let mut words = vec![0u64; g.len().div_ceil(64)];
+        for (i, &v) in g.iter().enumerate() {
+            if v >= 0.0 {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        SignMask { words, len: g.len() }
+    }
+
+    /// True when coordinate `i` was non-negative.
+    #[inline]
+    pub fn is_pos(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Writes `enc(g)` into `out` given the two means.
+pub fn enc_into(g: &[f32], means: &TwoMeans, out: &mut [f32]) {
+    assert_eq!(g.len(), out.len());
+    let (mp, mn) = (means.mu_pos, means.mu_neg);
+    par::par_zip_mut(out, g, move |o, &v| {
+        *o = if v >= 0.0 { mp } else { -mn };
+    });
+}
+
+/// In place: `g ← g − enc(g)` (the local error vector ε of Algorithm 1
+/// line 4). Returns the sign mask needed to apply the global means later.
+pub fn residual_in_place(g: &mut [f32], means: &TwoMeans) -> SignMask {
+    let mask = SignMask::capture(g);
+    let (mp, mn) = (means.mu_pos, means.mu_neg);
+    par::par_for_mut(g, move |v| {
+        *v -= if *v >= 0.0 { mp } else { -mn };
+    });
+    mask
+}
+
+/// Algorithm 1 line 6: `g ← ε + pos·µ̄+ − neg·µ̄−` with ε currently in `g`.
+pub fn restore_with_global_means(g: &mut [f32], mask: &SignMask, mu_pos: f32, mu_neg: f32) {
+    assert_eq!(g.len(), mask.len());
+    // Indexed loop (mask lookup) — chunked for parallelism.
+    let words = &mask.words;
+    if g.len() < par::PAR_THRESHOLD {
+        for (i, v) in g.iter_mut().enumerate() {
+            let pos = (words[i / 64] >> (i % 64)) & 1 == 1;
+            *v += if pos { mu_pos } else { -mu_neg };
+        }
+    } else {
+        use rayon::prelude::*;
+        g.par_chunks_mut(par::PAR_CHUNK).enumerate().for_each(|(c, chunk)| {
+            let base = c * par::PAR_CHUNK;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                let i = base + j;
+                let pos = (words[i / 64] >> (i % 64)) & 1 == 1;
+                *v += if pos { mu_pos } else { -mu_neg };
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_tensor::rng::SeedRng;
+
+    #[test]
+    fn split_means_hand_case() {
+        let g = [2.0f32, -1.0, 4.0, -3.0, 0.0];
+        let m = split_means(&g);
+        assert_eq!(m.n_pos, 3); // 2, 4, 0
+        assert_eq!(m.n_neg, 2);
+        assert!((m.mu_pos - 2.0).abs() < 1e-6);
+        assert!((m.mu_neg - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_means_all_positive() {
+        let m = split_means(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.n_neg, 0);
+        assert_eq!(m.mu_neg, 0.0);
+        assert!((m.mu_pos - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_means_empty() {
+        let m = split_means(&[]);
+        assert_eq!(m, TwoMeans { mu_pos: 0.0, mu_neg: 0.0, n_pos: 0, n_neg: 0 });
+    }
+
+    #[test]
+    fn enc_uses_sign_pattern() {
+        let g = [1.0f32, -2.0, 3.0];
+        let m = split_means(&g); // µ+ = 2, µ− = 2
+        let mut out = [0.0f32; 3];
+        enc_into(&g, &m, &mut out);
+        assert_eq!(out, [2.0, -2.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_means_are_zero_per_side() {
+        // Defining property: the residual sums to zero over each sign
+        // class — the means absorb exactly the class averages.
+        let mut rng = SeedRng::new(3);
+        let mut g: Vec<f32> = (0..10_001).map(|_| rng.randn() * 0.3 + 0.01).collect();
+        let orig = g.clone();
+        let m = split_means(&g);
+        let mask = residual_in_place(&mut g, &m);
+        let (mut pos_sum, mut neg_sum) = (0.0f64, 0.0f64);
+        for i in 0..g.len() {
+            if mask.is_pos(i) {
+                pos_sum += g[i] as f64;
+            } else {
+                neg_sum += g[i] as f64;
+            }
+        }
+        assert!(pos_sum.abs() / (m.n_pos.max(1) as f64) < 1e-6, "pos residual mean {pos_sum}");
+        assert!(neg_sum.abs() / (m.n_neg.max(1) as f64) < 1e-6, "neg residual mean {neg_sum}");
+        // And restoring with the *local* means reproduces the original.
+        restore_with_global_means(&mut g, &mask, m.mu_pos, m.mu_neg);
+        for (a, b) in g.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn restore_with_local_means_is_identity_large() {
+        // Exercise the parallel path (n > PAR_THRESHOLD).
+        let mut rng = SeedRng::new(4);
+        let n = (1 << 15) + 123;
+        let mut g: Vec<f32> = (0..n).map(|_| rng.randn()).collect();
+        let orig = g.clone();
+        let m = split_means(&g);
+        let mask = residual_in_place(&mut g, &m);
+        restore_with_global_means(&mut g, &mask, m.mu_pos, m.mu_neg);
+        for (a, b) in g.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sign_mask_round_trip() {
+        let g = [0.0f32, -0.0, 1.0, -1.0, f32::MIN_POSITIVE, -f32::MIN_POSITIVE];
+        let mask = SignMask::capture(&g);
+        // IEEE: -0.0 ≥ 0.0 is true, so -0.0 counts as positive.
+        assert!(mask.is_pos(0));
+        assert!(mask.is_pos(1));
+        assert!(mask.is_pos(2));
+        assert!(!mask.is_pos(3));
+        assert!(mask.is_pos(4));
+        assert!(!mask.is_pos(5));
+    }
+
+    #[test]
+    fn variance_is_preserved_by_residual_restore() {
+        // The paper's variance argument: after subtracting local means and
+        // adding global means, per-coordinate deviations (the ε vector) are
+        // intact, so the variance around the class means is unchanged.
+        let mut rng = SeedRng::new(5);
+        let g: Vec<f32> = (0..5000).map(|_| rng.randn()).collect();
+        let m = split_means(&g);
+        let mut eps = g.clone();
+        let mask = residual_in_place(&mut eps, &m);
+        // Global means from a fictitious other worker.
+        let (gp, gn) = (m.mu_pos * 0.9, m.mu_neg * 1.1);
+        let mut restored = eps.clone();
+        restore_with_global_means(&mut restored, &mask, gp, gn);
+        // Per-class variance of `restored` equals per-class variance of g.
+        let var_of = |xs: &[f32], pick_pos: bool| -> f64 {
+            let vals: Vec<f64> = xs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask.is_pos(*i) == pick_pos)
+                .map(|(_, &v)| v as f64)
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        for side in [true, false] {
+            let v1 = var_of(&g, side);
+            let v2 = var_of(&restored, side);
+            assert!((v1 - v2).abs() < 1e-6 * (1.0 + v1), "side {side}: {v1} vs {v2}");
+        }
+    }
+}

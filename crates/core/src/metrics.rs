@@ -1,0 +1,72 @@
+//! Evaluation metrics (paper §4.2–§4.3).
+
+/// Top-1 accuracy in percent.
+pub fn top1_accuracy(correct: usize, total: usize) -> f32 {
+    if total == 0 {
+        return 0.0;
+    }
+    100.0 * correct as f32 / total as f32
+}
+
+/// Perplexity from mean cross-entropy in nats.
+pub fn perplexity(mean_ce: f64) -> f64 {
+    mean_ce.exp()
+}
+
+/// Throughput in samples per simulated second.
+pub fn throughput(samples: usize, sim_seconds: f64) -> f64 {
+    if sim_seconds <= 0.0 {
+        return 0.0;
+    }
+    samples as f64 / sim_seconds
+}
+
+/// The paper's scaling-efficiency metric (§4.3): throughput of `algo` at
+/// `P` workers normalised by **dense SGD's throughput at 2 workers**:
+/// `SE = t_P(algo) / t_2(dense)`.
+pub fn scaling_efficiency(algo_throughput_p: f64, dense_throughput_2: f64) -> f64 {
+    if dense_throughput_2 <= 0.0 {
+        return 0.0;
+    }
+    algo_throughput_p / dense_throughput_2
+}
+
+/// Compression ratio relative to dense 32-bit gradients.
+pub fn compression_ratio(n_params: usize, wire_bits: u64) -> f64 {
+    (32.0 * n_params as f64) / wire_bits.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(top1_accuracy(50, 200), 25.0);
+        assert_eq!(top1_accuracy(0, 0), 0.0);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_10() {
+        assert!((perplexity((10.0f64).ln()) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_efficiency_definition() {
+        // 4× the dense-2-worker throughput → SE 4.0 (paper's Gaussian-K
+        // LSTM entry is 6.58 by this metric).
+        assert!((scaling_efficiency(4000.0, 1000.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_ratios_match_paper_table2() {
+        // LSTM-PTB: dense 32n vs A2SGD 64 bits → 33-million-fold reduction.
+        let n = 66_034_000;
+        let r = compression_ratio(n, 64);
+        assert!((r - 32.0 * n as f64 / 64.0).abs() < 1.0);
+        // Top-K at 0.001 density: ratio = 1000.
+        let k = (n as f64 * 0.001) as u64;
+        let r = compression_ratio(n, 32 * k);
+        assert!((r - 1000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Table/CSV output helpers used by the figure regenerators.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple fixed-width table with a title (what the bench binaries print
+/// so each figure's rows/series can be compared with the paper's).
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match header length).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                s.push_str(&format!(" {}{} |", c, " ".repeat(pad)));
+            }
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV to `path` (creating parent dirs) and returns it.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats seconds adaptively (µs/ms/s).
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}s", s)
+    }
+}
+
+/// Formats a bit count adaptively (b/Kb/Mb/Gb).
+pub fn fmt_bits(b: u64) -> String {
+    let bf = b as f64;
+    if bf < 1e3 {
+        format!("{b} b")
+    } else if bf < 1e6 {
+        format!("{:.1} Kb", bf / 1e3)
+    } else if bf < 1e9 {
+        format!("{:.1} Mb", bf / 1e6)
+    } else {
+        format!("{:.2} Gb", bf / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["algo", "time"]);
+        t.row(&["A2SGD".into(), "1.0".into()]);
+        t.row(&["Dense".into(), "12.5".into()]);
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("| A2SGD |"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["hello, world".into()]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_seconds(2e-6), "2.0µs");
+        assert_eq!(fmt_seconds(0.005), "5.00ms");
+        assert_eq!(fmt_seconds(3.0), "3.00s");
+        assert_eq!(fmt_bits(64), "64 b");
+        assert_eq!(fmt_bits(32_000), "32.0 Kb");
+    }
+}

@@ -1,0 +1,460 @@
+//! Synchronous data-parallel distributed training over the simulated
+//! cluster — the pipeline behind the paper's Figures 3–8 and Table 2.
+//!
+//! Every worker thread owns a model replica (identical seed ⇒ identical
+//! init, the moral equivalent of an initial broadcast), a disjoint data
+//! shard, a private optimizer, and a [`gradcomp::GradientSynchronizer`].
+//! Per iteration: forward/backward → flatten gradient → synchronize →
+//! scatter → optimizer step. Compute time is measured, communication time
+//! is modeled (see `cluster-comm`), and both accumulate on the simulated
+//! clock.
+
+use crate::metrics;
+use crate::registry::AlgoKind;
+use cluster_comm::{run_cluster, NetworkProfile};
+use mini_nn::flat::{flatten_grads, flatten_params, load_params, param_count, scatter_grads};
+use mini_nn::loss::softmax_cross_entropy;
+use mini_nn::models::{LstmLm, LstmLmConfig, ModelKind, Preset};
+use mini_nn::module::{Mode, Module, ModuleExt};
+use mini_nn::optim::{Lars, Sgd};
+use mini_nn::schedule::LrSchedule;
+use mini_tensor::stats::Histogram;
+use mini_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Instant;
+use synthdata::{BatchIter, Dataset, MarkovText, Shard, SyntheticImages, VisionSpec};
+
+/// Optimizer selection (Table 1's "LR Policy" column: LARS is used for the
+/// VGG-16 large-batch run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptKind {
+    /// Momentum SGD with weight decay.
+    Sgd {
+        /// Momentum coefficient.
+        momentum: f32,
+        /// L2 weight decay.
+        weight_decay: f32,
+    },
+    /// Layer-wise adaptive rate scaling.
+    Lars {
+        /// Momentum coefficient.
+        momentum: f32,
+        /// L2 weight decay.
+        weight_decay: f32,
+        /// Trust coefficient.
+        trust: f32,
+    },
+}
+
+enum Optimizer {
+    Sgd(Sgd),
+    Lars(Lars),
+}
+
+impl Optimizer {
+    fn new(kind: OptKind) -> Self {
+        match kind {
+            OptKind::Sgd { momentum, weight_decay } => Optimizer::Sgd(Sgd::new(momentum, weight_decay)),
+            OptKind::Lars { momentum, weight_decay, trust } => {
+                Optimizer::Lars(Lars::new(momentum, weight_decay, trust))
+            }
+        }
+    }
+
+    fn step(&mut self, model: &mut dyn Module, lr: f32) {
+        match self {
+            Optimizer::Sgd(o) => o.step(model, lr),
+            Optimizer::Lars(o) => o.step(model, lr),
+        }
+    }
+}
+
+/// Full experiment description.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Which of the four evaluation models.
+    pub model: ModelKind,
+    /// Paper-scale or CI-scale model widths.
+    pub preset: Preset,
+    /// Gradient-synchronization algorithm.
+    pub algo: AlgoKind,
+    /// Number of data-parallel workers.
+    pub workers: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Per-worker mini-batch size (paper: global batch 128).
+    pub batch_per_worker: usize,
+    /// Training-set size (images / sequences).
+    pub train_size: usize,
+    /// Held-out evaluation-set size.
+    pub eval_size: usize,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Optimizer.
+    pub opt: OptKind,
+    /// Master seed (model init, data synthesis, stochastic compressors).
+    pub seed: u64,
+    /// Modeled network.
+    pub profile: NetworkProfile,
+    /// Iterations at which worker 0 records a gradient histogram
+    /// (Figure 1); empty to disable.
+    pub grad_hist_iters: Vec<usize>,
+}
+
+/// Per-epoch observables.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Mean training loss across iterations (worker 0).
+    pub train_loss: f64,
+    /// Evaluation metric: top-1 % for classifiers, perplexity for the LM.
+    pub metric: f64,
+    /// Cumulative simulated seconds at epoch end.
+    pub sim_seconds: f64,
+}
+
+/// Everything a training run produces.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Configuration echo (model/algo/workers) for table labels.
+    pub label: String,
+    /// Per-epoch curve.
+    pub epochs: Vec<EpochStats>,
+    /// Final evaluation metric.
+    pub final_metric: f64,
+    /// Total simulated wall time.
+    pub total_sim_seconds: f64,
+    /// Average simulated time per iteration.
+    pub avg_iter_seconds: f64,
+    /// Iterations executed (per worker).
+    pub iters: usize,
+    /// Logical wire bits per iteration per worker.
+    pub wire_bits_per_iter: u64,
+    /// Mean compression time per iteration (worker 0).
+    pub avg_compress_seconds: f64,
+    /// Simulated throughput in samples/second (global).
+    pub throughput: f64,
+    /// Max replica parameter divergence before the final sync — evidence
+    /// of A2SGD's local-residual drift (≈ 0 for dense).
+    pub replica_divergence: f64,
+    /// Gradient histograms captured at requested iterations (worker 0).
+    pub grad_histograms: Vec<(usize, Histogram)>,
+}
+
+/// Per-worker scratch returned from rank threads.
+struct WorkerOut {
+    epochs: Vec<EpochStats>,
+    sim_seconds: f64,
+    iters: usize,
+    wire_bits_total: u64,
+    compress_seconds_total: f64,
+    divergence: f64,
+    histograms: Vec<(usize, Histogram)>,
+}
+
+/// Runs the experiment, returning worker 0's report.
+pub fn train(cfg: &TrainConfig) -> TrainReport {
+    assert!(cfg.workers >= 1 && cfg.epochs >= 1 && cfg.batch_per_worker >= 1);
+    let cfg = cfg.clone();
+
+    // One shared dataset per run: the first `train_size` indices are the
+    // training split, the next `eval_size` the held-out split. Both share
+    // the class templates (different noise/jitter per index).
+    let vision: Option<Arc<SyntheticImages>> = (!cfg.model.is_language_model()).then(|| {
+        let spec = match cfg.model {
+            ModelKind::Fnn3 => VisionSpec::mnist_like(),
+            _ => VisionSpec::cifar_like(),
+        };
+        Arc::new(SyntheticImages::new(spec, cfg.train_size + cfg.eval_size, cfg.seed ^ 0xDA7A))
+    });
+    let lm: Option<Arc<MarkovText>> = cfg.model.is_language_model().then(|| {
+        let lmc = LstmLmConfig::preset(cfg.preset);
+        let seq = 16;
+        let tokens = (cfg.train_size + cfg.eval_size + 1) * seq + 1;
+        Arc::new(MarkovText::new(lmc.vocab, 4, tokens, seq, cfg.seed ^ 0x1A7A))
+    });
+
+    let cfgr = &cfg;
+    let outs = run_cluster(cfg.workers, cfg.profile, move |comm| {
+        run_worker(cfgr, comm, vision.as_deref(), lm.as_deref())
+    });
+
+    let w0 = &outs[0];
+    let total_samples = w0.iters * cfg.batch_per_worker * cfg.workers;
+    let divergence = outs.iter().map(|o| o.divergence).fold(0.0f64, f64::max);
+    TrainReport {
+        label: format!("{}/{}/P{}", cfg.model.name(), cfg.algo.name(), cfg.workers),
+        epochs: w0.epochs.clone(),
+        final_metric: w0.epochs.last().map(|e| e.metric).unwrap_or(f64::NAN),
+        total_sim_seconds: w0.sim_seconds,
+        avg_iter_seconds: if w0.iters > 0 { w0.sim_seconds / w0.iters as f64 } else { 0.0 },
+        iters: w0.iters,
+        wire_bits_per_iter: if w0.iters > 0 { w0.wire_bits_total / w0.iters as u64 } else { 0 },
+        avg_compress_seconds: if w0.iters > 0 {
+            w0.compress_seconds_total / w0.iters as f64
+        } else {
+            0.0
+        },
+        throughput: metrics::throughput(total_samples, w0.sim_seconds),
+        replica_divergence: divergence,
+        grad_histograms: w0.histograms.clone(),
+    }
+}
+
+fn run_worker(
+    cfg: &TrainConfig,
+    comm: &mut cluster_comm::CommHandle,
+    vision: Option<&SyntheticImages>,
+    lm: Option<&MarkovText>,
+) -> WorkerOut {
+    let rank = comm.rank();
+    let mut model = build_model(cfg);
+    let n = param_count(model.as_mut());
+    let mut sync = cfg.algo.build(n, cfg.seed ^ 0x5EED, rank);
+    let mut opt = Optimizer::new(cfg.opt);
+
+    let mut flat = Vec::with_capacity(n);
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut iters_done = 0usize;
+    let mut wire_bits_total = 0u64;
+    let mut compress_total = 0.0f64;
+    let mut histograms: Vec<(usize, Histogram)> = Vec::new();
+
+    let (train_len, iters_per_epoch) = match (vision, lm) {
+        (Some(_), _) => {
+            let shard = Shard::new(cfg.train_size, rank, cfg.workers);
+            (cfg.train_size, shard.len() / cfg.batch_per_worker)
+        }
+        (_, Some(m)) => {
+            let usable = m.num_examples().min(cfg.train_size);
+            let shard = Shard::new(usable, rank, cfg.workers);
+            (usable, shard.len() / cfg.batch_per_worker)
+        }
+        _ => unreachable!("one dataset must exist"),
+    };
+    assert!(iters_per_epoch > 0, "shard too small for batch size");
+
+    for epoch in 0..cfg.epochs {
+        // DistributedSampler semantics: fresh global permutation per epoch,
+        // interleaved across ranks (see `Shard::new_permuted`).
+        let shard = Shard::new_permuted(
+            train_len,
+            rank,
+            cfg.workers,
+            cfg.seed ^ 0xB00C ^ (epoch as u64).wrapping_mul(0x9E37_79B9),
+        );
+        let mut loss_sum = 0.0f64;
+
+        for it in 0..iters_per_epoch {
+            let global_iter = epoch * iters_per_epoch + it;
+            let t0 = Instant::now();
+
+            // ---- batch ------------------------------------------------
+            let (x, targets): (Tensor, Vec<usize>) = if let Some(d) = vision {
+                let lo = it * cfg.batch_per_worker;
+                let idxs = &shard.indices()[lo..lo + cfg.batch_per_worker];
+                let (first, _) = d.sample(idxs[0]);
+                let per = first.numel();
+                let mut dims = vec![cfg.batch_per_worker];
+                dims.extend_from_slice(first.shape().dims());
+                let mut data = vec![0.0f32; cfg.batch_per_worker * per];
+                let mut labels = Vec::with_capacity(cfg.batch_per_worker);
+                for (bi, &i) in idxs.iter().enumerate() {
+                    let (xi, yi) = d.sample(i);
+                    data[bi * per..(bi + 1) * per].copy_from_slice(xi.as_slice());
+                    labels.push(yi);
+                }
+                (Tensor::from_vec(data, &dims[..]), labels)
+            } else {
+                let m = lm.unwrap();
+                let lo = it * cfg.batch_per_worker;
+                let idxs: Vec<usize> =
+                    shard.indices()[lo..lo + cfg.batch_per_worker].to_vec();
+                m.lm_batch(&idxs)
+            };
+
+            // ---- forward / backward ------------------------------------
+            model.zero_grad();
+            let logits = model.forward(&x, Mode::Train);
+            let lo = softmax_cross_entropy(&logits, &targets);
+            loss_sum += lo.loss as f64;
+            let _ = model.backward(&lo.dlogits);
+            flatten_grads(model.as_mut(), &mut flat);
+            comm.advance_compute(t0.elapsed().as_secs_f64());
+
+            // ---- Figure 1 capture --------------------------------------
+            if rank == 0 && cfg.grad_hist_iters.contains(&global_iter) {
+                let s = mini_tensor::stats::summary(&flat);
+                let range = (3.0 * s.std()).max(1e-6) as f32;
+                let mut h = Histogram::new(-range, range, 41);
+                h.add_all(&flat);
+                histograms.push((global_iter, h));
+            }
+
+            // ---- synchronize + step ------------------------------------
+            let stats = sync.synchronize(&mut flat, comm);
+            wire_bits_total += stats.wire_bits;
+            compress_total += stats.compress_seconds;
+            scatter_grads(model.as_mut(), &flat);
+            let epoch_frac = epoch as f32 + it as f32 / iters_per_epoch as f32;
+            let t1 = Instant::now();
+            opt.step(model.as_mut(), cfg.lr.lr_at(epoch_frac));
+            comm.advance_compute(t1.elapsed().as_secs_f64());
+            iters_done += 1;
+        }
+
+        // ---- evaluation (worker 0, off the simulated clock) -------------
+        let metric = if rank == 0 { evaluate(cfg, model.as_mut(), vision, lm) } else { 0.0 };
+        epochs.push(EpochStats {
+            epoch: epoch + 1,
+            train_loss: loss_sum / iters_per_epoch as f64,
+            metric,
+            sim_seconds: comm.clock(),
+        });
+    }
+
+    // ---- Algorithm 1 lines 9–10: final re-synchronization ----------------
+    flatten_params(model.as_mut(), &mut flat);
+    let local = flat.clone();
+    comm.allreduce_avg(&mut flat);
+    let mut div = 0.0f64;
+    for (a, b) in local.iter().zip(&flat) {
+        div = div.max((a - b).abs() as f64);
+    }
+    load_params(model.as_mut(), &flat);
+
+    WorkerOut {
+        epochs,
+        sim_seconds: comm.clock(),
+        iters: iters_done,
+        wire_bits_total,
+        compress_seconds_total: compress_total,
+        divergence: div,
+        histograms,
+    }
+}
+
+fn build_model(cfg: &TrainConfig) -> Box<dyn Module> {
+    match cfg.model {
+        ModelKind::LstmPtb => {
+            let mut c = LstmLmConfig::preset(cfg.preset);
+            if let Preset::Scaled = cfg.preset {
+                // Keep the LM vocab in sync with the Markov source.
+                c = LstmLmConfig::preset(Preset::Scaled);
+            }
+            Box::new(LstmLm::new(&c, cfg.seed))
+        }
+        k => k.build(cfg.preset, cfg.seed),
+    }
+}
+
+fn evaluate(
+    cfg: &TrainConfig,
+    model: &mut dyn Module,
+    vision: Option<&SyntheticImages>,
+    lm: Option<&MarkovText>,
+) -> f64 {
+    if let Some(d) = vision {
+        let shard = Shard::range(cfg.train_size, cfg.train_size + cfg.eval_size);
+        let bi = BatchIter::new(d, &shard, cfg.batch_per_worker.min(cfg.eval_size));
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (x, y) in bi {
+            let logits = model.forward(&x, Mode::Eval);
+            let out = softmax_cross_entropy(&logits, &y);
+            correct += out.correct;
+            total += y.len();
+        }
+        metrics::top1_accuracy(correct, total) as f64
+    } else {
+        let m = lm.unwrap();
+        // Evaluate on the held-out tail of the corpus.
+        let start = cfg.train_size;
+        let end = (start + cfg.eval_size).min(m.num_examples());
+        let mut ce_sum = 0.0f64;
+        let mut batches = 0usize;
+        let b = cfg.batch_per_worker.min(end - start).max(1);
+        let mut i = start;
+        while i + b <= end {
+            let idxs: Vec<usize> = (i..i + b).collect();
+            let (x, targets) = m.lm_batch(&idxs);
+            let logits = model.forward(&x, Mode::Eval);
+            let out = softmax_cross_entropy(&logits, &targets);
+            ce_sum += out.loss as f64;
+            batches += 1;
+            i += b;
+        }
+        metrics::perplexity(ce_sum / batches.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(algo: AlgoKind, workers: usize) -> TrainConfig {
+        TrainConfig {
+            model: ModelKind::Fnn3,
+            preset: Preset::Scaled,
+            algo,
+            workers,
+            epochs: 2,
+            batch_per_worker: 16,
+            train_size: 320,
+            eval_size: 160,
+            lr: LrSchedule::constant(0.01),
+            opt: OptKind::Sgd { momentum: 0.9, weight_decay: 0.0 },
+            seed: 42,
+            profile: NetworkProfile::infiniband_100g(),
+            grad_hist_iters: vec![0, 5],
+        }
+    }
+
+    #[test]
+    fn dense_training_learns_something() {
+        let r = train(&tiny_cfg(AlgoKind::Dense, 2));
+        assert_eq!(r.epochs.len(), 2);
+        assert!(r.final_metric > 30.0, "accuracy {} too low", r.final_metric);
+        assert!(r.epochs[1].train_loss < r.epochs[0].train_loss + 0.1);
+        assert!(r.total_sim_seconds > 0.0);
+        assert_eq!(r.grad_histograms.len(), 2);
+    }
+
+    #[test]
+    fn a2sgd_training_learns_and_uses_64_bits() {
+        let r = train(&tiny_cfg(AlgoKind::A2sgd, 2));
+        assert!(r.final_metric > 30.0, "accuracy {} too low", r.final_metric);
+        assert_eq!(r.wire_bits_per_iter, 64);
+        // Replicas drifted (local residuals) but stayed bounded.
+        assert!(r.replica_divergence > 0.0);
+        assert!(r.replica_divergence < 1.0, "divergence {}", r.replica_divergence);
+    }
+
+    #[test]
+    fn dense_replicas_do_not_diverge() {
+        let r = train(&tiny_cfg(AlgoKind::Dense, 2));
+        assert!(r.replica_divergence < 1e-5, "dense divergence {}", r.replica_divergence);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = train(&tiny_cfg(AlgoKind::A2sgd, 2));
+        let b = train(&tiny_cfg(AlgoKind::A2sgd, 2));
+        assert_eq!(a.final_metric, b.final_metric);
+        let ea: Vec<f64> = a.epochs.iter().map(|e| e.train_loss).collect();
+        let eb: Vec<f64> = b.epochs.iter().map(|e| e.train_loss).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn wire_accounting_matches_formula() {
+        for algo in [AlgoKind::Dense, AlgoKind::A2sgd, AlgoKind::TopK(0.01)] {
+            let r = train(&tiny_cfg(algo, 2));
+            let mut m = ModelKind::Fnn3.build(Preset::Scaled, 42);
+            let n = param_count(m.as_mut());
+            let expect = algo.build(n, 0, 0).wire_bits_formula(n);
+            assert_eq!(r.wire_bits_per_iter, expect, "{}", algo.name());
+        }
+    }
+}

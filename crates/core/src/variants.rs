@@ -1,0 +1,330 @@
+//! A2SGD variants and extensions.
+//!
+//! * [`A2sgdAllgather`] — the optimization the paper's §4.4 proposes as
+//!   future work: exchange the per-worker mean pairs with **Allgather**
+//!   instead of Allreduce, which is faster on high-bandwidth networks (the
+//!   reason Gaussian-K edged out A2SGD in their Figure 4d). Semantically
+//!   identical: the global means are averaged locally after the gather.
+//! * [`A2sgdCarry`] — ablation: carries the residual to the *next*
+//!   iteration (classic error feedback) instead of adding it back in the
+//!   same iteration. Useful for studying why Algorithm 1's same-iteration
+//!   restore preserves variance.
+//! * [`KLevelSgd`] — generalization: L magnitude-bucketed means per sign
+//!   (L = 1 reduces to A2SGD). Communication is `2·L` floats — still O(1)
+//!   in n — trading a little bandwidth for lower encoding distortion.
+
+use crate::mean2::{residual_in_place, restore_with_global_means, split_means};
+use cluster_comm::{CollectiveAlgo, CommHandle};
+use gradcomp::ef::ErrorFeedback;
+use gradcomp::{GradientSynchronizer, SyncStats};
+use std::time::Instant;
+
+/// Allgather-based exchange of the two means (paper §4.4 future work).
+#[derive(Debug, Default)]
+pub struct A2sgdAllgather;
+
+impl A2sgdAllgather {
+    /// Creates the variant.
+    pub fn new() -> Self {
+        A2sgdAllgather
+    }
+}
+
+impl GradientSynchronizer for A2sgdAllgather {
+    fn name(&self) -> &'static str {
+        "A2SGD-AG"
+    }
+
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let t0 = Instant::now();
+        let means = split_means(grad);
+        let mask = residual_in_place(grad, &means);
+        let compress_seconds = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_seconds);
+
+        let gathered = comm.allgather(&[means.mu_pos, means.mu_neg], Some(8.0));
+        let inv = 1.0 / gathered.len() as f32;
+        let (mut gp, mut gn) = (0.0f32, 0.0f32);
+        for pair in &gathered {
+            gp += pair[0];
+            gn += pair[1];
+        }
+        restore_with_global_means(grad, &mask, gp * inv, gn * inv);
+        SyncStats { compress_seconds, wire_bits: 64 }
+    }
+
+    fn wire_bits_formula(&self, _n: usize) -> u64 {
+        64
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(n)"
+    }
+}
+
+/// Carried-error ablation: residual goes into classic EF memory instead of
+/// the same-iteration restore.
+pub struct A2sgdCarry {
+    ef: ErrorFeedback,
+    acc: Vec<f32>,
+}
+
+impl A2sgdCarry {
+    /// Creates the ablation for an `n`-parameter model.
+    pub fn new(n: usize) -> Self {
+        A2sgdCarry { ef: ErrorFeedback::new(n), acc: vec![0.0; n] }
+    }
+}
+
+impl GradientSynchronizer for A2sgdCarry {
+    fn name(&self) -> &'static str {
+        "A2SGD-carry"
+    }
+
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let t0 = Instant::now();
+        self.acc.copy_from_slice(grad);
+        self.ef.apply(&mut self.acc);
+        let means = split_means(&self.acc);
+        // Transmit enc(acc); memory keeps acc − enc(acc).
+        let mut enc = vec![0.0f32; grad.len()];
+        crate::mean2::enc_into(&self.acc, &means, &mut enc);
+        self.ef.absorb(&self.acc, &enc);
+        let compress_seconds = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_seconds);
+
+        let mut payload = [means.mu_pos, means.mu_neg];
+        comm.allreduce_sum_with(&mut payload, CollectiveAlgo::RecursiveDoubling, Some(8.0));
+        let inv = 1.0 / comm.world() as f32;
+        let (gp, gn) = (payload[0] * inv, payload[1] * inv);
+        // The update this worker applies is enc with global means, using
+        // its own sign pattern — no ε added back this iteration.
+        let mask = crate::mean2::SignMask::capture(&self.acc);
+        grad.fill(0.0);
+        restore_with_global_means(grad, &mask, gp, gn);
+        SyncStats { compress_seconds, wire_bits: 64 }
+    }
+
+    fn wire_bits_formula(&self, _n: usize) -> u64 {
+        64
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(n)"
+    }
+}
+
+/// Generalized L-level bucketed means (per sign class).
+///
+/// Coordinates are bucketed by |g| quantile within their sign class; each
+/// bucket transmits its mean. `levels = 1` is exactly A2SGD. The bucket
+/// boundaries derive from each worker's own magnitude distribution, so no
+/// extra coordination is needed — communication stays `2·levels` floats.
+pub struct KLevelSgd {
+    levels: usize,
+}
+
+impl KLevelSgd {
+    /// Creates an L-level synchronizer (`levels ≥ 1`).
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 1);
+        KLevelSgd { levels }
+    }
+
+    /// Assigns each coordinate a bucket id in `[0, 2·levels)`:
+    /// sign class × magnitude tier (tiers are |g|-quantile slices).
+    fn bucketize(&self, g: &[f32]) -> (Vec<u16>, Vec<f32>) {
+        let l = self.levels;
+        // Magnitude thresholds per sign class from sorted samples: for
+        // efficiency sample up to 4096 coordinates.
+        let mut mags: Vec<f32> = if g.len() <= 4096 {
+            g.iter().map(|v| v.abs()).collect()
+        } else {
+            let step = g.len() / 4096;
+            g.iter().step_by(step).map(|v| v.abs()).collect()
+        };
+        mags.sort_unstable_by(f32::total_cmp);
+        let tier_of = |mag: f32| -> usize {
+            if l == 1 {
+                return 0;
+            }
+            let pos = mags.partition_point(|&m| m < mag);
+            ((pos * l) / mags.len().max(1)).min(l - 1)
+        };
+        let mut bucket = vec![0u16; g.len()];
+        let mut sums = vec![0.0f64; 2 * l];
+        let mut counts = vec![0usize; 2 * l];
+        for (i, &v) in g.iter().enumerate() {
+            let t = tier_of(v.abs());
+            let b = if v >= 0.0 { t } else { l + t };
+            bucket[i] = b as u16;
+            sums[b] += v.abs() as f64;
+            counts[b] += 1;
+        }
+        let means: Vec<f32> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c > 0 { (s / c as f64) as f32 } else { 0.0 })
+            .collect();
+        (bucket, means)
+    }
+}
+
+impl GradientSynchronizer for KLevelSgd {
+    fn name(&self) -> &'static str {
+        "KLevel"
+    }
+
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let t0 = Instant::now();
+        let (bucket, mut means) = self.bucketize(grad);
+        // Residual: g − enc_bucket(g).
+        let l = self.levels;
+        for (i, v) in grad.iter_mut().enumerate() {
+            let b = bucket[i] as usize;
+            let enc = if b < l { means[b] } else { -means[b] };
+            *v -= enc;
+        }
+        let compress_seconds = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_seconds);
+
+        comm.allreduce_sum_with(
+            &mut means,
+            CollectiveAlgo::RecursiveDoubling,
+            Some(4.0 * 2.0 * l as f64),
+        );
+        let inv = 1.0 / comm.world() as f32;
+        for m in means.iter_mut() {
+            *m *= inv;
+        }
+        for (i, v) in grad.iter_mut().enumerate() {
+            let b = bucket[i] as usize;
+            *v += if b < l { means[b] } else { -means[b] };
+        }
+        SyncStats { compress_seconds, wire_bits: 64 * l as u64 }
+    }
+
+    fn wire_bits_formula(&self, _n: usize) -> u64 {
+        64 * self.levels as u64
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(n)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::A2sgd;
+    use cluster_comm::{run_cluster, NetworkProfile};
+    use mini_tensor::rng::SeedRng;
+
+    #[test]
+    fn allgather_variant_matches_allreduce_variant() {
+        let world = 4;
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| {
+                let mut rng = SeedRng::new(40 + r as u64);
+                (0..256).map(|_| rng.randn()).collect()
+            })
+            .collect();
+        let i1 = inputs.clone();
+        let a = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut g = i1[h.rank()].clone();
+            A2sgd::new().synchronize(&mut g, h);
+            g
+        });
+        let i2 = inputs.clone();
+        let b = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut g = i2[h.rank()].clone();
+            A2sgdAllgather::new().synchronize(&mut g, h);
+            g
+        });
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn klevel_one_equals_a2sgd() {
+        let world = 2;
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| {
+                let mut rng = SeedRng::new(50 + r as u64);
+                (0..128).map(|_| rng.randn()).collect()
+            })
+            .collect();
+        let i1 = inputs.clone();
+        let a = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut g = i1[h.rank()].clone();
+            A2sgd::new().synchronize(&mut g, h);
+            g
+        });
+        let i2 = inputs.clone();
+        let b = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            let mut g = i2[h.rank()].clone();
+            KLevelSgd::new(1).synchronize(&mut g, h);
+            g
+        });
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn klevel_distortion_decreases_with_levels() {
+        // Encoding error ‖g − enc(g)‖ shrinks as L grows.
+        let mut rng = SeedRng::new(60);
+        let g: Vec<f32> = (0..4096).map(|_| rng.randn()).collect();
+        let err_at = |l: usize| -> f64 {
+            let k = KLevelSgd::new(l);
+            let (bucket, means) = k.bucketize(&g);
+            g.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let b = bucket[i] as usize;
+                    let enc = if b < l { means[b] } else { -means[b] };
+                    ((v - enc) as f64).powi(2)
+                })
+                .sum::<f64>()
+                .sqrt()
+        };
+        let e1 = err_at(1);
+        let e4 = err_at(4);
+        let e16 = err_at(16);
+        assert!(e4 < e1, "L=4 ({e4}) should beat L=1 ({e1})");
+        assert!(e16 < e4, "L=16 ({e16}) should beat L=4 ({e4})");
+    }
+
+    #[test]
+    fn carry_variant_transmits_only_means() {
+        let out = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
+            let mut c = A2sgdCarry::new(8);
+            let mut g = vec![1.0f32, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0];
+            let stats = c.synchronize(&mut g, h);
+            // Same-sign coordinates all receive the same (global-mean)
+            // magnitude — the residual was NOT added back.
+            assert!((g[0] - g[2]).abs() < 1e-6);
+            assert!((g[1] - g[3]).abs() < 1e-6);
+            stats.wire_bits
+        });
+        assert!(out.iter().all(|&b| b == 64));
+    }
+
+    #[test]
+    fn carry_residual_preserved_for_next_iteration() {
+        let _ = run_cluster(1, NetworkProfile::infiniband_100g(), |h| {
+            let mut c = A2sgdCarry::new(4);
+            let mut g = vec![1.0f32, 3.0, -1.0, -3.0]; // µ+ = 2, µ− = 2
+            c.synchronize(&mut g, h);
+            // residual = acc − enc = [−1, 1, 1, −1]
+            assert_eq!(c.ef.residual(), &[-1.0, 1.0, 1.0, -1.0]);
+            0
+        });
+    }
+}

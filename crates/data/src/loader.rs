@@ -1,0 +1,243 @@
+//! Dataset abstraction, worker sharding and batch iteration.
+
+use mini_tensor::rng::SeedRng;
+use mini_tensor::Tensor;
+
+/// A supervised dataset of `(example, label)` pairs.
+pub trait Dataset: Sync {
+    /// Number of examples.
+    fn len(&self) -> usize;
+
+    /// True when the dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of label classes.
+    fn num_classes(&self) -> usize;
+
+    /// The `index`-th example.
+    fn sample(&self, index: usize) -> (Tensor, usize);
+}
+
+/// The index shard owned by one data-parallel worker: indices
+/// `rank, rank+P, rank+2P, …` (interleaved), matching the even split a
+/// distributed sampler produces.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    indices: Vec<usize>,
+    rank: usize,
+    world: usize,
+}
+
+impl Shard {
+    /// Builds the shard for `rank` of `world` over a dataset of `len`.
+    pub fn new(len: usize, rank: usize, world: usize) -> Self {
+        assert!(world > 0 && rank < world, "invalid rank {rank}/{world}");
+        let indices = (rank..len).step_by(world).collect();
+        Shard { indices, rank, world }
+    }
+
+    /// A single-owner shard over the contiguous index range `lo..hi`
+    /// (used for held-out evaluation slices of a shared dataset).
+    pub fn range(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi);
+        Shard { indices: (lo..hi).collect(), rank: 0, world: 1 }
+    }
+
+    /// The PyTorch-`DistributedSampler` semantics: all ranks agree on one
+    /// seeded **global permutation** of `0..len`, then rank p takes every
+    /// `world`-th element. Without the global permutation, structured
+    /// datasets (e.g. labels correlated with the index) give each worker a
+    /// *biased* shard — harmless for dense allreduce averaging, but fatal
+    /// for algorithms whose updates are mostly local (A2SGD's
+    /// residual-retaining update, local SGD, …).
+    pub fn new_permuted(len: usize, rank: usize, world: usize, seed: u64) -> Self {
+        assert!(world > 0 && rank < world, "invalid rank {rank}/{world}");
+        let mut perm: Vec<usize> = (0..len).collect();
+        let mut rng = SeedRng::new(seed ^ 0x5A4D_9E2B);
+        rng.shuffle(&mut perm);
+        let indices = perm.into_iter().skip(rank).step_by(world).collect();
+        Shard { indices, rank, world }
+    }
+
+    /// Examples in this shard.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Reshuffles the shard for a new epoch. All workers use the same
+    /// `(base_seed, epoch)` stream *keyed by rank*, so shards stay disjoint
+    /// but the order is epoch-dependent.
+    pub fn shuffle(&mut self, base_seed: u64, epoch: usize) {
+        let mut rng = SeedRng::new(
+            base_seed ^ (epoch as u64).wrapping_mul(0x5851_F42D_4C95_7F2D) ^ self.rank as u64,
+        );
+        rng.shuffle(&mut self.indices);
+    }
+
+    /// Shard indices in current order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The world size this shard was built for.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+}
+
+/// Iterates a shard in fixed-size batches, stacking examples into one
+/// `[B, ...]` tensor. The trailing partial batch is dropped (as Horovod's
+/// sampler does), so every worker runs the same number of iterations.
+pub struct BatchIter<'a, D: Dataset> {
+    dataset: &'a D,
+    shard: &'a Shard,
+    batch: usize,
+    cursor: usize,
+}
+
+impl<'a, D: Dataset> BatchIter<'a, D> {
+    /// Creates a batch iterator with local batch size `batch`.
+    pub fn new(dataset: &'a D, shard: &'a Shard, batch: usize) -> Self {
+        assert!(batch > 0);
+        BatchIter { dataset, shard, batch, cursor: 0 }
+    }
+
+    /// Number of full batches this iterator will yield.
+    pub fn batches(&self) -> usize {
+        self.shard.len() / self.batch
+    }
+}
+
+impl<'a, D: Dataset> Iterator for BatchIter<'a, D> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor + self.batch > self.shard.len() {
+            return None;
+        }
+        let idxs = &self.shard.indices()[self.cursor..self.cursor + self.batch];
+        self.cursor += self.batch;
+
+        let (first, _) = self.dataset.sample(idxs[0]);
+        let per = first.numel();
+        let mut dims = vec![self.batch];
+        dims.extend_from_slice(first.shape().dims());
+        let mut data = vec![0.0f32; self.batch * per];
+        let mut labels = Vec::with_capacity(self.batch);
+        for (bi, &i) in idxs.iter().enumerate() {
+            let (x, y) = self.dataset.sample(i);
+            data[bi * per..(bi + 1) * per].copy_from_slice(x.as_slice());
+            labels.push(y);
+        }
+        Some((Tensor::from_vec(data, &dims[..]), labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vision::{SyntheticImages, VisionSpec};
+
+    #[test]
+    fn shards_partition_the_dataset() {
+        let world = 4;
+        let mut seen = vec![false; 103];
+        for rank in 0..world {
+            let s = Shard::new(103, rank, world);
+            for &i in s.indices() {
+                assert!(!seen[i], "index {i} in two shards");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some index unassigned");
+    }
+
+    #[test]
+    fn shard_sizes_balanced() {
+        for world in [1, 2, 4, 8, 16] {
+            let sizes: Vec<usize> = (0..world).map(|r| Shard::new(1000, r, world).len()).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_epoch_dependent() {
+        let mut s = Shard::new(100, 1, 4);
+        let before: Vec<usize> = s.indices().to_vec();
+        s.shuffle(9, 0);
+        let e0: Vec<usize> = s.indices().to_vec();
+        let mut sorted = e0.clone();
+        sorted.sort_unstable();
+        let mut bsorted = before.clone();
+        bsorted.sort_unstable();
+        assert_eq!(sorted, bsorted);
+        s.shuffle(9, 1);
+        assert_ne!(e0, s.indices());
+    }
+
+    #[test]
+    fn permuted_shards_partition_and_decorrelate_labels() {
+        let world = 4;
+        let mut seen = vec![false; 200];
+        for rank in 0..world {
+            let s = Shard::new_permuted(200, rank, world, 9);
+            // Every residue class mod 10 (the synthetic label) must appear
+            // in every shard — the property plain interleaving violates.
+            let mut label_seen = [false; 10];
+            for &i in s.indices() {
+                assert!(!seen[i]);
+                seen[i] = true;
+                label_seen[i % 10] = true;
+            }
+            assert!(label_seen.iter().all(|&b| b), "rank {rank} missing a label class");
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn permuted_shards_agree_across_ranks_on_the_permutation() {
+        // Determinism: rebuilding any rank's shard yields the same indices.
+        let a = Shard::new_permuted(100, 2, 4, 7);
+        let b = Shard::new_permuted(100, 2, 4, 7);
+        assert_eq!(a.indices(), b.indices());
+        // Different seeds give different permutations.
+        let c = Shard::new_permuted(100, 2, 4, 8);
+        assert_ne!(a.indices(), c.indices());
+    }
+
+    #[test]
+    fn batch_iter_stacks_and_drops_tail() {
+        let d = SyntheticImages::new(VisionSpec::mnist_like(), 50, 5);
+        let shard = Shard::new(50, 0, 1);
+        let it = BatchIter::new(&d, &shard, 8);
+        assert_eq!(it.batches(), 6); // 50/8
+        let mut count = 0;
+        for (x, y) in it {
+            assert_eq!(x.shape().dims(), &[8, 1, 28, 28]);
+            assert_eq!(y.len(), 8);
+            count += 1;
+        }
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn all_workers_run_same_iteration_count() {
+        let d = SyntheticImages::new(VisionSpec::mnist_like(), 101, 5);
+        let counts: Vec<usize> = (0..4)
+            .map(|r| {
+                let s = Shard::new(101, r, 4);
+                BatchIter::new(&d, &s, 8).batches()
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Batch normalisation over `[N, C, H, W]` activations.
+
+use crate::module::{Mode, Module};
+use crate::param::Param;
+use mini_tensor::Tensor;
+
+/// Per-channel batch normalisation with affine parameters and running
+/// statistics (exponential moving average, momentum 0.1).
+pub struct BatchNorm2d {
+    name: String,
+    c: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // caches for backward
+    cached_xhat: Option<Tensor>,
+    cached_invstd: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `c` channels.
+    pub fn new(name: &str, c: usize) -> Self {
+        BatchNorm2d {
+            name: name.to_string(),
+            c,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones([c])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros([c])),
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            cached_xhat: None,
+            cached_invstd: vec![0.0; c],
+        }
+    }
+
+    fn channel_stats(x: &Tensor, c: usize) -> (Vec<f64>, Vec<f64>) {
+        let d = x.shape().dims();
+        let (n, ch, h, w) = (d[0], d[1], d[2], d[3]);
+        assert_eq!(ch, c);
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let xs = x.as_slice();
+        let mut mean = vec![0.0f64; c];
+        let mut var = vec![0.0f64; c];
+        for i in 0..n {
+            for cc in 0..c {
+                let base = (i * c + cc) * plane;
+                let mut s = 0.0f64;
+                for v in &xs[base..base + plane] {
+                    s += *v as f64;
+                }
+                mean[cc] += s;
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for i in 0..n {
+            for cc in 0..c {
+                let base = (i * c + cc) * plane;
+                let mut s = 0.0f64;
+                for v in &xs[base..base + plane] {
+                    let d = *v as f64 - mean[cc];
+                    s += d * d;
+                }
+                var[cc] += s;
+            }
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        (mean, var)
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let d = x.shape().dims();
+        assert_eq!(d.len(), 4, "BatchNorm2d expects [N,C,H,W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert_eq!(c, self.c);
+        let plane = h * w;
+
+        let (mean, var): (Vec<f64>, Vec<f64>) = match mode {
+            Mode::Train => {
+                let (m, v) = Self::channel_stats(x, c);
+                for cc in 0..c {
+                    self.running_mean[cc] =
+                        (1.0 - self.momentum) * self.running_mean[cc] + self.momentum * m[cc] as f32;
+                    self.running_var[cc] =
+                        (1.0 - self.momentum) * self.running_var[cc] + self.momentum * v[cc] as f32;
+                }
+                (m, v)
+            }
+            Mode::Eval => (
+                self.running_mean.iter().map(|&v| v as f64).collect(),
+                self.running_var.iter().map(|&v| v as f64).collect(),
+            ),
+        };
+
+        let mut xhat = x.clone();
+        let gs = self.gamma.data.as_slice().to_vec();
+        let bs = self.beta.data.as_slice().to_vec();
+        let mut out = Tensor::zeros(x.shape().clone());
+        for cc in 0..c {
+            self.cached_invstd[cc] = (1.0 / (var[cc] + self.eps as f64).sqrt()) as f32;
+        }
+        {
+            let xh = xhat.as_mut_slice();
+            let os = out.as_mut_slice();
+            for i in 0..n {
+                for cc in 0..c {
+                    let base = (i * c + cc) * plane;
+                    let (mu, istd) = (mean[cc] as f32, self.cached_invstd[cc]);
+                    for j in base..base + plane {
+                        let xn = (xh[j] - mu) * istd;
+                        xh[j] = xn;
+                        os[j] = gs[cc] * xn + bs[cc];
+                    }
+                }
+            }
+        }
+        self.cached_xhat = Some(xhat);
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.as_ref().expect("backward before forward");
+        let d = dout.shape().dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let m = (n * plane) as f64;
+        let xh = xhat.as_slice();
+        let dos = dout.as_slice();
+
+        // Per-channel reductions: Σdy and Σ dy·x̂.
+        let mut sum_dy = vec![0.0f64; c];
+        let mut sum_dy_xhat = vec![0.0f64; c];
+        for i in 0..n {
+            for cc in 0..c {
+                let base = (i * c + cc) * plane;
+                for j in base..base + plane {
+                    sum_dy[cc] += dos[j] as f64;
+                    sum_dy_xhat[cc] += dos[j] as f64 * xh[j] as f64;
+                }
+            }
+        }
+        // Parameter grads.
+        {
+            let gg = self.gamma.grad.as_mut_slice();
+            let gb = self.beta.grad.as_mut_slice();
+            for cc in 0..c {
+                gg[cc] += sum_dy_xhat[cc] as f32;
+                gb[cc] += sum_dy[cc] as f32;
+            }
+        }
+        // Input grad (batch statistics path):
+        // dx = γ·istd/m · (m·dy − Σdy − x̂·Σ(dy·x̂))
+        let gs = self.gamma.data.as_slice();
+        let mut dx = Tensor::zeros(dout.shape().clone());
+        let dxs = dx.as_mut_slice();
+        for i in 0..n {
+            for cc in 0..c {
+                let base = (i * c + cc) * plane;
+                let k = gs[cc] * self.cached_invstd[cc] / m as f32;
+                for j in base..base + plane {
+                    dxs[j] = k
+                        * (m as f32 * dos[j]
+                            - sum_dy[cc] as f32
+                            - xh[j] * sum_dy_xhat[cc] as f32);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use mini_tensor::rng::SeedRng;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut rng = SeedRng::new(41);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let x = rng.randn_tensor(&[8, 3, 4, 4], 3.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Per channel: mean ≈ 0, var ≈ 1 (γ=1, β=0 at init).
+        for cc in 0..3 {
+            let mut vals = Vec::new();
+            for i in 0..8 {
+                for j in 0..16 {
+                    vals.push(y.as_slice()[(i * 3 + cc) * 16 + j]);
+                }
+            }
+            let s = mini_tensor::stats::summary(&vals);
+            assert!(s.mean.abs() < 1e-4, "mean {}", s.mean);
+            assert!((s.var - 1.0).abs() < 1e-2, "var {}", s.var);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = SeedRng::new(42);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        // Several training batches to settle running stats.
+        for _ in 0..50 {
+            let x = rng.randn_tensor(&[16, 2, 2, 2], 2.0);
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        let x = rng.randn_tensor(&[16, 2, 2, 2], 2.0);
+        let y = bn.forward(&x, Mode::Eval);
+        let s = mini_tensor::stats::summary(y.as_slice());
+        assert!(s.mean.abs() < 0.25, "mean {}", s.mean);
+        assert!((s.var - 1.0).abs() < 0.5, "var {}", s.var);
+    }
+
+    #[test]
+    fn gradcheck_batchnorm() {
+        let bn = BatchNorm2d::new("bn", 2);
+        gradcheck::check_module(Box::new(bn), &[4, 2, 3, 3], 43, 3e-2);
+    }
+}

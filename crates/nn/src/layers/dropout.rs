@@ -1,0 +1,93 @@
+//! Inverted dropout.
+
+use crate::module::{Mode, Module};
+use crate::param::Param;
+use mini_tensor::rng::SeedRng;
+use mini_tensor::Tensor;
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; evaluation is the
+/// identity. The mask stream is seeded for reproducibility.
+pub struct Dropout {
+    p: f32,
+    rng: SeedRng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout { p, rng: SeedRng::new(seed), mask: Vec::new() }
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            // Identity mask so backward stays consistent.
+            self.mask.clear();
+            self.mask.resize(x.numel(), 1.0);
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        self.mask.clear();
+        self.mask.reserve(x.numel());
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            let m = if self.rng.flip(self.p) { 0.0 } else { scale };
+            self.mask.push(m);
+            *v *= m;
+        }
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        assert_eq!(dout.numel(), self.mask.len(), "backward before forward");
+        let mut dx = dout.clone();
+        for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones([100]);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones([50_000]);
+        let y = d.forward(&x, Mode::Train);
+        let mean = mini_tensor::ops::mean(&y);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones([1000]);
+        let y = d.forward(&x, Mode::Train);
+        let dx = d.backward(&Tensor::ones([1000]));
+        // Zeroed forward positions must be zeroed in backward too.
+        for (yv, dv) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*yv == 0.0, *dv == 0.0);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Flatten layer: `[B, ...] → [B, prod(...)]`.
+
+use crate::module::{Mode, Module};
+use crate::param::Param;
+use mini_tensor::{Shape, Tensor};
+
+/// Reshapes every non-batch dimension into one feature dimension.
+pub struct Flatten {
+    in_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert!(x.shape().rank() >= 1);
+        self.in_shape = Some(x.shape().clone());
+        let b = x.shape().dim(0);
+        let rest: usize = x.shape().dims()[1..].iter().product();
+        x.clone().reshape([b, rest])
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let shape = self.in_shape.clone().expect("backward before forward");
+        dout.clone().reshape(shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_shapes() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        let y = fl.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 60]);
+        let dx = fl.backward(&y);
+        assert_eq!(dx.shape().dims(), &[2, 3, 4, 5]);
+    }
+}

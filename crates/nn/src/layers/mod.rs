@@ -1,0 +1,25 @@
+//! Neural-network layers with explicit backward passes.
+
+mod batchnorm;
+mod conv2d;
+mod dropout;
+mod embedding;
+mod flatten;
+mod linear;
+mod lstm;
+mod pool;
+mod relu;
+mod residual;
+mod sequential;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use relu::Relu;
+pub use residual::{ResidualBlock, ShortcutKind};
+pub use sequential::Sequential;

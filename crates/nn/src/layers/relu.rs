@@ -1,0 +1,72 @@
+//! Rectified linear unit.
+
+use crate::module::{Mode, Module};
+use crate::param::Param;
+use mini_tensor::Tensor;
+
+/// Elementwise `max(0, x)`.
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: Vec::new() }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.mask.clear();
+        self.mask.reserve(x.numel());
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            let keep = *v > 0.0;
+            self.mask.push(keep);
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        assert_eq!(dout.numel(), self.mask.len(), "backward before forward");
+        let mut dx = dout.clone();
+        for (v, &keep) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_and_backward_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -0.5], [4]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let d = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], [4]);
+        let dx = r.backward(&d);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mini-nn
+//!
+//! A from-scratch neural-network stack with *explicit* backward passes
+//! (Caffe-style modules rather than a dynamic autograd tape), built as the
+//! training substrate for the A2SGD reproduction.
+//!
+//! Contents:
+//!
+//! * [`module::Module`] — forward/backward/visit-params contract,
+//! * layers: [`layers::Linear`], [`layers::Conv2d`], [`layers::BatchNorm2d`],
+//!   [`layers::Relu`], [`layers::MaxPool2d`], [`layers::GlobalAvgPool`],
+//!   [`layers::Dropout`], [`layers::Flatten`], [`layers::Embedding`],
+//!   [`layers::Lstm`], [`layers::Sequential`], [`layers::ResidualBlock`],
+//! * [`loss`] — fused softmax cross-entropy and perplexity,
+//! * [`optim`] — SGD with momentum/weight decay and LARS (paper Table 1),
+//! * [`schedule`] — linear scaling, gradual warmup, polynomial decay,
+//! * [`flat`] — flatten/scatter of parameters and gradients (the compression
+//!   algorithms all operate on the flattened gradient vector),
+//! * [`models`] — FNN-3, VGG-16, ResNet-20 and LSTM-PTB with `paper` and
+//!   `scaled` presets,
+//! * [`gradcheck`] — finite-difference verification utilities used by tests.
+//!
+//! Every layer's backward pass is validated against central finite
+//! differences (see the per-layer tests and `gradcheck`).
+
+pub mod flat;
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod module;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+
+pub use module::{Mode, Module};
+pub use param::Param;

@@ -1,0 +1,112 @@
+//! Losses and derived metrics.
+
+use mini_tensor::{ops, Tensor};
+
+/// Result of a fused softmax-cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, already divided by batch size.
+    pub dlogits: Tensor,
+    /// Number of correct argmax predictions.
+    pub correct: usize,
+}
+
+/// Fused softmax + cross-entropy for logits `[B, C]` and integer targets.
+///
+/// Fusing keeps the backward pass the numerically-friendly `p − 1_target`.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    assert_eq!(logits.shape().rank(), 2);
+    let (b, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(targets.len(), b, "target count mismatch");
+
+    let probs = ops::softmax_rows(logits);
+    let ps = probs.as_slice();
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut dlogits = probs.clone();
+    let ds = dlogits.as_mut_slice();
+    let invb = 1.0 / b as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target {t} out of range {c}");
+        let p = ps[i * c + t].max(1e-12);
+        loss -= (p as f64).ln();
+        // argmax for accuracy
+        let row = &ps[i * c..(i + 1) * c];
+        let mut best = 0;
+        for j in 1..c {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+        ds[i * c + t] -= 1.0;
+    }
+    for v in ds.iter_mut() {
+        *v *= invb;
+    }
+    LossOutput { loss: (loss / b as f64) as f32, dlogits, correct }
+}
+
+/// Perplexity from a mean cross-entropy (natural log), the LSTM-PTB metric.
+pub fn perplexity(mean_ce: f32) -> f32 {
+    mean_ce.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_tensor::rng::SeedRng;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros([4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+        assert!((perplexity(out.loss) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let mut logits = Tensor::zeros([2, 3]);
+        *logits.at_mut(&[0, 1]) = 50.0;
+        *logits.at_mut(&[1, 2]) = 50.0;
+        let out = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(out.loss < 1e-4);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = SeedRng::new(91);
+        let logits = rng.randn_tensor(&[3, 4], 1.0);
+        let targets = [2usize, 0, 3];
+        let out = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..12 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fp = softmax_cross_entropy(&lp, &targets).loss;
+            let fm = softmax_cross_entropy(&lm, &targets).loss;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = out.dlogits.as_slice()[i];
+            assert!((num - ana).abs() < 1e-3, "coord {i}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = SeedRng::new(92);
+        let logits = rng.randn_tensor(&[5, 7], 2.0);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4]);
+        for i in 0..5 {
+            let s: f32 = out.dlogits.as_slice()[i * 7..(i + 1) * 7].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! FNN-3: feed-forward network with three hidden layers (MNIST workload).
+
+use super::Preset;
+use crate::layers::{Flatten, Linear, Relu, Sequential};
+use mini_tensor::rng::SeedRng;
+
+/// Builds FNN-3. `Paper` hidden sizes (206, 150, 40) give exactly the
+/// 199,210 parameters Table 1 reports; `Scaled` shrinks the hidden layers.
+pub fn fnn3(preset: Preset, seed: u64) -> Sequential {
+    let hidden: [usize; 3] = match preset {
+        Preset::Paper => [206, 150, 40],
+        Preset::Scaled => [48, 32, 24],
+    };
+    let mut rng = SeedRng::new(seed);
+    let mut net = Sequential::new("fnn3");
+    net.add(Box::new(Flatten::new()));
+    let mut in_f = 784;
+    for (i, &h) in hidden.iter().enumerate() {
+        net.add(Box::new(Linear::new(&format!("fc{}", i + 1), in_f, h, &mut rng)));
+        net.add(Box::new(Relu::new()));
+        in_f = h;
+    }
+    net.add(Box::new(Linear::new("fc_out", in_f, 10, &mut rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::param_count;
+    use crate::module::{Mode, Module};
+    use mini_tensor::Tensor;
+
+    #[test]
+    fn paper_count_is_199210() {
+        let mut m = fnn3(Preset::Paper, 1);
+        assert_eq!(param_count(&mut m), 199_210);
+    }
+
+    #[test]
+    fn forward_shape_from_image_input() {
+        let mut m = fnn3(Preset::Scaled, 1);
+        let y = m.forward(&Tensor::zeros([4, 1, 28, 28]), Mode::Train);
+        assert_eq!(y.shape().dims(), &[4, 10]);
+    }
+}

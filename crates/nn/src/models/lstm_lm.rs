@@ -1,0 +1,198 @@
+//! LSTM language model (PTB workload).
+
+use super::Preset;
+use crate::layers::{Dropout, Embedding, Linear, Lstm};
+use crate::module::{Mode, Module};
+use crate::param::Param;
+use mini_tensor::rng::SeedRng;
+use mini_tensor::Tensor;
+
+/// LSTM-LM hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LstmLmConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width (= LSTM input width).
+    pub emb: usize,
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Number of stacked LSTM layers.
+    pub layers: usize,
+    /// Dropout probability between layers.
+    pub dropout: f32,
+}
+
+impl LstmLmConfig {
+    /// Preset configurations. `Paper` (vocab 10 000, width 1 500, 2 layers)
+    /// matches the 66,034,000 parameters in Table 1 exactly.
+    pub fn preset(p: Preset) -> Self {
+        match p {
+            Preset::Paper => {
+                LstmLmConfig { vocab: 10_000, emb: 1_500, hidden: 1_500, layers: 2, dropout: 0.5 }
+            }
+            Preset::Scaled => {
+                LstmLmConfig { vocab: 200, emb: 32, hidden: 48, layers: 2, dropout: 0.1 }
+            }
+        }
+    }
+}
+
+/// Embedding → stacked LSTM (+dropout) → per-token projection.
+///
+/// Input: token ids `[B, T]` (stored as f32); output: logits
+/// `[B·T, vocab]`, matching the flattened targets used by the loss. Token
+/// ids carry no input gradient.
+pub struct LstmLm {
+    emb: Embedding,
+    lstms: Vec<Lstm>,
+    dropouts: Vec<Dropout>,
+    proj: Linear,
+    hidden: usize,
+    cached_b: usize,
+    cached_t: usize,
+}
+
+impl LstmLm {
+    /// Builds the model with a deterministic seed.
+    pub fn new(cfg: &LstmLmConfig, seed: u64) -> Self {
+        let mut rng = SeedRng::new(seed);
+        let emb = Embedding::new("emb", cfg.vocab, cfg.emb, &mut rng);
+        let mut lstms = Vec::new();
+        let mut dropouts = Vec::new();
+        let mut in_dim = cfg.emb;
+        for i in 0..cfg.layers {
+            lstms.push(Lstm::new(&format!("lstm{i}"), in_dim, cfg.hidden, &mut rng));
+            dropouts.push(Dropout::new(cfg.dropout, rng.next_u64()));
+            in_dim = cfg.hidden;
+        }
+        let proj = Linear::new("proj", cfg.hidden, cfg.vocab, &mut rng);
+        LstmLm { emb, lstms, dropouts, proj, hidden: cfg.hidden, cached_b: 0, cached_t: 0 }
+    }
+}
+
+impl Module for LstmLm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "LstmLm expects [B, T] token ids");
+        let (b, t) = (x.shape().dim(0), x.shape().dim(1));
+        self.cached_b = b;
+        self.cached_t = t;
+        let mut cur = self.emb.forward(x, mode);
+        for (lstm, drop) in self.lstms.iter_mut().zip(&mut self.dropouts) {
+            cur = lstm.forward(&cur, mode);
+            cur = drop.forward(&cur, mode);
+        }
+        let flat = cur.reshape([b * t, self.hidden]);
+        self.proj.forward(&flat, mode)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let (b, t) = (self.cached_b, self.cached_t);
+        assert!(b > 0, "backward before forward");
+        let d = self.proj.backward(dout);
+        let mut cur = d.reshape([b, t, self.hidden]);
+        for (lstm, drop) in self.lstms.iter_mut().zip(&mut self.dropouts).rev() {
+            cur = drop.backward(&cur);
+            cur = lstm.backward(&cur);
+        }
+        self.emb.backward(&cur)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.emb.visit_params(f);
+        for (lstm, drop) in self.lstms.iter_mut().zip(&mut self.dropouts) {
+            lstm.visit_params(f);
+            drop.visit_params(f);
+        }
+        self.proj.visit_params(f);
+    }
+
+    fn name(&self) -> &str {
+        "lstm_lm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::param_count;
+    use crate::loss::softmax_cross_entropy;
+    use crate::module::ModuleExt;
+
+    #[test]
+    fn scaled_shapes() {
+        let cfg = LstmLmConfig::preset(Preset::Scaled);
+        let mut m = LstmLm::new(&cfg, 3);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[6, cfg.vocab]);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let cfg = LstmLmConfig { vocab: 50, emb: 8, hidden: 12, layers: 2, dropout: 0.0 };
+        let mut m = LstmLm::new(&cfg, 4);
+        let expect = 50 * 8                       // embedding
+            + 4 * 12 * (8 + 12 + 2)               // lstm0
+            + 4 * 12 * (12 + 12 + 2)              // lstm1
+            + 12 * 50 + 50; // projection
+        assert_eq!(param_count(&mut m), expect);
+    }
+
+    #[test]
+    fn end_to_end_param_gradcheck() {
+        // Finite-difference check of dLoss/dθ through embedding + LSTM +
+        // projection + cross-entropy, on a handful of coordinates.
+        let cfg = LstmLmConfig { vocab: 6, emb: 3, hidden: 4, layers: 1, dropout: 0.0 };
+        let mut m = LstmLm::new(&cfg, 5);
+        let x = Tensor::from_vec(vec![0.0, 2.0, 5.0, 1.0], [1, 4]);
+        let targets = [2usize, 5, 1, 0];
+
+        m.zero_grad();
+        let out = m.forward(&x, Mode::Train);
+        let l = softmax_cross_entropy(&out, &targets);
+        let _ = m.backward(&l.dlogits);
+
+        let mut grads: Vec<Vec<f32>> = Vec::new();
+        m.visit_params(&mut |p| grads.push(p.grad.as_slice().to_vec()));
+
+        let eps = 1e-2f32;
+        let nparams = grads.len();
+        for pi in 0..nparams {
+            for coord in [0usize, 1] {
+                if coord >= grads[pi].len() {
+                    continue;
+                }
+                fn probe(m: &mut LstmLm, pi: usize, coord: usize, delta: f32) {
+                    let mut k = 0;
+                    m.visit_params(&mut |p| {
+                        if k == pi {
+                            p.data.as_mut_slice()[coord] += delta;
+                        }
+                        k += 1;
+                    });
+                }
+                probe(&mut m, pi, coord, eps);
+                let fp = softmax_cross_entropy(&m.forward(&x, Mode::Train), &targets).loss;
+                probe(&mut m, pi, coord, -2.0 * eps);
+                let fm = softmax_cross_entropy(&m.forward(&x, Mode::Train), &targets).loss;
+                probe(&mut m, pi, coord, eps);
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = grads[pi][coord];
+                assert!(
+                    (num - ana).abs() < 3e-2 * (1.0 + ana.abs()),
+                    "param {pi} coord {coord}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_disabled_in_eval_gives_deterministic_output() {
+        let cfg = LstmLmConfig { vocab: 10, emb: 4, hidden: 4, layers: 2, dropout: 0.4 };
+        let mut m = LstmLm::new(&cfg, 6);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let a = m.forward(&x, Mode::Eval);
+        let b = m.forward(&x, Mode::Eval);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,136 @@
+//! The four evaluation models from the paper's Table 1.
+//!
+//! | Model    | Dataset  | paper #params |
+//! |----------|----------|---------------|
+//! | FNN-3    | MNIST    | 199,210       |
+//! | VGG-16   | CIFAR10  | 14,728,266    |
+//! | ResNet-20| CIFAR10  | 269,722       |
+//! | LSTM-PTB | PTB      | 66,034,000    |
+//!
+//! Each has a [`Preset::Paper`] construction whose parameter count matches
+//! the paper **exactly** (see the tests at the bottom of this module) and a
+//! [`Preset::Scaled`] construction small enough to train in CI on a laptop.
+//! The paper does not give FNN-3 layer widths; we chose hidden sizes
+//! (206, 150, 40) to land exactly on 199,210.
+
+mod fnn;
+mod lstm_lm;
+mod resnet;
+mod vgg;
+
+pub use fnn::fnn3;
+pub use lstm_lm::{LstmLm, LstmLmConfig};
+pub use resnet::resnet20;
+pub use vgg::vgg16;
+
+use crate::module::Module;
+
+/// Model size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Exact paper-scale parameter counts (used for complexity accounting
+    /// and paper-scale benchmarks).
+    Paper,
+    /// Reduced widths that train in minutes on CPU (used for convergence
+    /// experiments; documented in EXPERIMENTS.md).
+    Scaled,
+}
+
+/// The four evaluation workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Feed-forward network, 3 hidden layers, MNIST-like input.
+    Fnn3,
+    /// VGG-16 with batch norm for 32×32 inputs.
+    Vgg16,
+    /// ResNet-20 (option-A shortcuts) for 32×32 inputs.
+    ResNet20,
+    /// 2-layer LSTM language model (PTB-style).
+    LstmPtb,
+}
+
+impl ModelKind {
+    /// All four, in Table-1 order.
+    pub const ALL: [ModelKind; 4] = [ModelKind::Fnn3, ModelKind::Vgg16, ModelKind::ResNet20, ModelKind::LstmPtb];
+
+    /// Table-1 display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Fnn3 => "FNN-3",
+            ModelKind::Vgg16 => "VGG-16",
+            ModelKind::ResNet20 => "ResNet-20",
+            ModelKind::LstmPtb => "LSTM-PTB",
+        }
+    }
+
+    /// Parameter count the paper reports.
+    pub fn paper_param_count(&self) -> usize {
+        match self {
+            ModelKind::Fnn3 => 199_210,
+            ModelKind::Vgg16 => 14_728_266,
+            ModelKind::ResNet20 => 269_722,
+            ModelKind::LstmPtb => 66_034_000,
+        }
+    }
+
+    /// Builds the model at the given preset with a deterministic seed.
+    pub fn build(&self, preset: Preset, seed: u64) -> Box<dyn Module> {
+        match self {
+            ModelKind::Fnn3 => Box::new(fnn3(preset, seed)),
+            ModelKind::Vgg16 => Box::new(vgg16(preset, seed)),
+            ModelKind::ResNet20 => Box::new(resnet20(preset, seed)),
+            ModelKind::LstmPtb => Box::new(LstmLm::new(&LstmLmConfig::preset(preset), seed)),
+        }
+    }
+
+    /// True for the language-modelling workload (perplexity metric,
+    /// token-id inputs).
+    pub fn is_language_model(&self) -> bool {
+        matches!(self, ModelKind::LstmPtb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::param_count;
+
+    #[test]
+    fn paper_param_counts_match_exactly() {
+        for kind in [ModelKind::Fnn3, ModelKind::ResNet20, ModelKind::Vgg16] {
+            let mut m = kind.build(Preset::Paper, 0);
+            assert_eq!(
+                param_count(m.as_mut()),
+                kind.paper_param_count(),
+                "{} parameter count",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "allocates the 66M-parameter LSTM (~1 GiB); run with --ignored"]
+    fn lstm_paper_param_count_matches_exactly() {
+        let mut m = ModelKind::LstmPtb.build(Preset::Paper, 0);
+        assert_eq!(param_count(m.as_mut()), 66_034_000);
+    }
+
+    #[test]
+    fn lstm_paper_param_count_formula() {
+        // Cheaper check of the same identity the constructor uses:
+        // vocab·emb + Σ_layers 4h(e + h + 2) + (h·vocab + vocab).
+        let (v, e, h) = (10_000usize, 1_500usize, 1_500usize);
+        let total = v * e + 4 * h * (e + h + 2) + 4 * h * (h + h + 2) + (h * v + v);
+        assert_eq!(total, 66_034_000);
+    }
+
+    #[test]
+    fn scaled_models_are_small() {
+        for kind in ModelKind::ALL {
+            let mut m = kind.build(Preset::Scaled, 0);
+            let n = param_count(m.as_mut());
+            assert!(n < 1_000_000, "{} scaled preset too large: {n}", kind.name());
+            assert!(n > 1_000, "{} scaled preset suspiciously small: {n}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! ResNet-20 for 32×32 inputs (CIFAR-10 workload).
+
+use super::Preset;
+use crate::layers::{
+    BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, ResidualBlock, Sequential, ShortcutKind,
+};
+use mini_tensor::rng::SeedRng;
+
+/// Builds ResNet-20: a 3×3 stem, three stages of three basic blocks with
+/// widths (16, 32, 64) and strides (1, 2, 2), global average pooling and a
+/// 10-way classifier. Shortcuts are **option A** (parameter-free
+/// zero-padded identity), which reproduces the paper's 269,722 parameters
+/// exactly. `Scaled` divides the widths by 4.
+pub fn resnet20(preset: Preset, seed: u64) -> Sequential {
+    let div = match preset {
+        Preset::Paper => 1,
+        Preset::Scaled => 4,
+    };
+    let widths = [16 / div, 32 / div, 64 / div];
+    let mut rng = SeedRng::new(seed);
+    let mut net = Sequential::new("resnet20");
+    net.add(Box::new(Conv2d::new("stem", 3, widths[0], 3, 1, 1, false, &mut rng)));
+    net.add(Box::new(BatchNorm2d::new("stem_bn", widths[0])));
+    net.add(Box::new(Relu::new()));
+    let mut in_c = widths[0];
+    for (stage, &w) in widths.iter().enumerate() {
+        for block in 0..3 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            net.add(Box::new(ResidualBlock::with_shortcut(
+                &format!("s{stage}b{block}"),
+                in_c,
+                w,
+                stride,
+                ShortcutKind::IdentityPad,
+                &mut rng,
+            )));
+            in_c = w;
+        }
+    }
+    net.add(Box::new(GlobalAvgPool::new()));
+    net.add(Box::new(Linear::new("fc", in_c, 10, &mut rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::param_count;
+    use crate::module::{Mode, Module};
+    use mini_tensor::Tensor;
+
+    #[test]
+    fn paper_count_is_269722() {
+        let mut m = resnet20(Preset::Paper, 1);
+        assert_eq!(param_count(&mut m), 269_722);
+    }
+
+    #[test]
+    fn scaled_forward_shape() {
+        let mut m = resnet20(Preset::Scaled, 1);
+        let y = m.forward(&Tensor::zeros([2, 3, 32, 32]), Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+}

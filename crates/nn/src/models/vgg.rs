@@ -1,0 +1,95 @@
+//! VGG-16 with batch normalisation for 32×32 inputs (CIFAR-10 workload).
+
+use super::Preset;
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
+use mini_tensor::rng::SeedRng;
+
+/// One entry of the VGG configuration string: a convolution width or a
+/// max-pool marker.
+enum C {
+    Conv(usize),
+    Pool,
+}
+
+/// Builds VGG-16/BN. The `Paper` preset uses the canonical widths
+/// (13 biased convolutions + BN + a single 512→10 classifier), which is
+/// exactly the 14,728,266 parameters in Table 1 — the reference
+/// implementation keeps conv biases even with batch norm. `Scaled` divides
+/// all widths by 8.
+pub fn vgg16(preset: Preset, seed: u64) -> Sequential {
+    let div = match preset {
+        Preset::Paper => 1,
+        Preset::Scaled => 8,
+    };
+    let cfg = [
+        C::Conv(64),
+        C::Conv(64),
+        C::Pool,
+        C::Conv(128),
+        C::Conv(128),
+        C::Pool,
+        C::Conv(256),
+        C::Conv(256),
+        C::Conv(256),
+        C::Pool,
+        C::Conv(512),
+        C::Conv(512),
+        C::Conv(512),
+        C::Pool,
+        C::Conv(512),
+        C::Conv(512),
+        C::Conv(512),
+        C::Pool,
+    ];
+    let mut rng = SeedRng::new(seed);
+    let mut net = Sequential::new("vgg16");
+    let mut in_c = 3;
+    let mut li = 0;
+    for item in cfg {
+        match item {
+            C::Conv(w) => {
+                let out_c = (w / div).max(4);
+                li += 1;
+                net.add(Box::new(Conv2d::new(
+                    &format!("conv{li}"),
+                    in_c,
+                    out_c,
+                    3,
+                    1,
+                    1,
+                    true,
+                    &mut rng,
+                )));
+                net.add(Box::new(BatchNorm2d::new(&format!("bn{li}"), out_c)));
+                net.add(Box::new(Relu::new()));
+                in_c = out_c;
+            }
+            C::Pool => net.add(Box::new(MaxPool2d::new(2))),
+        }
+    }
+    // After five pools a 32×32 input is 1×1 spatially.
+    net.add(Box::new(Flatten::new()));
+    net.add(Box::new(Linear::new("fc", in_c, 10, &mut rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::param_count;
+    use crate::module::{Mode, Module};
+    use mini_tensor::Tensor;
+
+    #[test]
+    fn paper_count_is_14728266() {
+        let mut m = vgg16(Preset::Paper, 1);
+        assert_eq!(param_count(&mut m), 14_728_266);
+    }
+
+    #[test]
+    fn scaled_forward_shape() {
+        let mut m = vgg16(Preset::Scaled, 1);
+        let y = m.forward(&Tensor::zeros([2, 3, 32, 32]), Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+}

@@ -1,0 +1,76 @@
+//! The layer contract.
+
+use crate::param::Param;
+use mini_tensor::Tensor;
+
+/// Forward-pass mode: training (dropout active, batch-norm uses batch
+/// statistics) or evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training behaviour.
+    Train,
+    /// Inference behaviour.
+    Eval,
+}
+
+/// A differentiable module with explicit forward and backward passes.
+///
+/// Invariants:
+/// * `backward` must be called after `forward` (modules cache activations),
+///   with an upstream gradient shaped like the forward output;
+/// * `backward` **accumulates** parameter gradients and returns the gradient
+///   with respect to the forward input;
+/// * `visit_params` visits parameters in a deterministic order — the
+///   flatten/scatter helpers and optimizer state rely on it.
+pub trait Module: Send {
+    /// Computes the module output for `x`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Back-propagates `dout` (gradient w.r.t. the forward output), returning
+    /// the gradient w.r.t. the forward input.
+    fn backward(&mut self, dout: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Short human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "module"
+    }
+}
+
+/// Extension helpers available on every module.
+pub trait ModuleExt: Module {
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Clears every parameter gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+impl<M: Module + ?Sized> ModuleExt for M {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use mini_tensor::rng::SeedRng;
+
+    #[test]
+    fn param_count_and_zero_grad() {
+        let mut rng = SeedRng::new(0);
+        let mut lin = Linear::new("fc", 4, 3, &mut rng);
+        assert_eq!(lin.param_count(), 4 * 3 + 3);
+        lin.visit_params(&mut |p| p.grad.as_mut_slice().fill(1.0));
+        lin.zero_grad();
+        let mut all_zero = true;
+        lin.visit_params(&mut |p| all_zero &= p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(all_zero);
+    }
+}

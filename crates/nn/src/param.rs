@@ -1,0 +1,58 @@
+//! Trainable parameter storage.
+
+use mini_tensor::Tensor;
+
+/// A trainable parameter: value tensor plus an accumulated gradient of the
+/// same shape.
+///
+/// Layers *accumulate* into `grad` during `backward` (so gradient
+/// accumulation across micro-batches works); the training loop clears it
+/// with [`Param::zero_grad`] once per optimizer step.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable identifier (`layer.weight` style), stable across runs.
+    pub name: String,
+    /// Current value.
+    pub data: Tensor,
+    /// Accumulated gradient (same shape as `data`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, data: Tensor) -> Self {
+        let grad = Tensor::zeros(data.shape().clone());
+        Param { name: name.into(), data, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.data.numel()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones([2, 3]));
+        assert_eq!(p.numel(), 6);
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(p.grad.shape().same(p.data.shape()));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("w", Tensor::ones([4]));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Learning-rate schedules from the paper's Table 1.
+//!
+//! Table 1 composes: **LS** (linear scaling of the base rate with the
+//! worker count, Goyal et al.), **GW** (gradual warmup over the first
+//! epochs), **PD** (polynomial decay to zero over training), and LARS is an
+//! optimizer choice handled in [`crate::optim`].
+
+/// A composed learning-rate policy evaluated at fractional epochs.
+#[derive(Debug, Clone)]
+pub struct LrSchedule {
+    /// Base learning rate before scaling (Table 1's "LR" column).
+    pub base_lr: f32,
+    /// Linear-scaling multiplier, e.g. `LS(1.5x)` with `workers` workers
+    /// gives `base · 1.5 · workers / reference_workers`.
+    pub linear_scale: f32,
+    /// Number of workers participating (for LS).
+    pub workers: usize,
+    /// Reference worker count at which `base_lr` is quoted (paper uses 1).
+    pub reference_workers: usize,
+    /// Warmup epochs (0 disables GW).
+    pub warmup_epochs: f32,
+    /// Total training epochs (for PD).
+    pub total_epochs: f32,
+    /// Polynomial decay power (0 disables PD; paper uses 2).
+    pub poly_power: f32,
+}
+
+impl LrSchedule {
+    /// Constant learning rate (no LS/GW/PD).
+    pub fn constant(lr: f32) -> Self {
+        LrSchedule {
+            base_lr: lr,
+            linear_scale: 1.0,
+            workers: 1,
+            reference_workers: 1,
+            warmup_epochs: 0.0,
+            total_epochs: f32::INFINITY,
+            poly_power: 0.0,
+        }
+    }
+
+    /// The fully-scaled target rate after warmup.
+    pub fn peak_lr(&self) -> f32 {
+        self.base_lr * self.linear_scale * self.workers as f32 / self.reference_workers as f32
+    }
+
+    /// Learning rate at fractional epoch `e ∈ [0, total_epochs]`.
+    pub fn lr_at(&self, e: f32) -> f32 {
+        let peak = self.peak_lr();
+        // Gradual warmup: ramp linearly from base_lr to peak.
+        let lr = if self.warmup_epochs > 0.0 && e < self.warmup_epochs {
+            let frac = e / self.warmup_epochs;
+            self.base_lr + (peak - self.base_lr) * frac
+        } else {
+            peak
+        };
+        // Polynomial decay over the post-warmup span.
+        if self.poly_power > 0.0 && self.total_epochs.is_finite() {
+            let start = self.warmup_epochs.min(self.total_epochs);
+            let span = (self.total_epochs - start).max(1e-6);
+            let t = ((e - start).max(0.0) / span).min(1.0);
+            lr * (1.0 - t).powf(self.poly_power)
+        } else {
+            lr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::constant(0.1);
+        for e in [0.0, 1.0, 7.5, 100.0] {
+            assert_eq!(s.lr_at(e), 0.1);
+        }
+    }
+
+    #[test]
+    fn linear_scaling_multiplies_peak() {
+        let mut s = LrSchedule::constant(0.1);
+        s.workers = 8;
+        s.linear_scale = 1.5;
+        assert!((s.peak_lr() - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_from_base_to_peak() {
+        let mut s = LrSchedule::constant(0.1);
+        s.workers = 4;
+        s.warmup_epochs = 5.0;
+        s.total_epochs = 100.0;
+        assert!((s.lr_at(0.0) - 0.1).abs() < 1e-6);
+        let mid = s.lr_at(2.5);
+        assert!(mid > 0.1 && mid < s.peak_lr());
+        assert!((s.lr_at(5.0) - s.peak_lr()).abs() < 1e-6);
+        // Monotone during warmup.
+        assert!(s.lr_at(1.0) < s.lr_at(2.0));
+    }
+
+    #[test]
+    fn poly_decay_reaches_zero() {
+        let mut s = LrSchedule::constant(1.0);
+        s.poly_power = 2.0;
+        s.total_epochs = 10.0;
+        assert!((s.lr_at(0.0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(5.0) - 0.25).abs() < 1e-6);
+        assert!(s.lr_at(10.0).abs() < 1e-6);
+        assert!(s.lr_at(12.0).abs() < 1e-6); // clamped past the end
+    }
+
+    #[test]
+    fn warmup_then_decay_composes() {
+        let mut s = LrSchedule::constant(0.1);
+        s.workers = 2;
+        s.warmup_epochs = 2.0;
+        s.total_epochs = 12.0;
+        s.poly_power = 2.0;
+        // Decay starts exactly at the end of warmup (t = 0 → lr = peak) and
+        // is monotone decreasing afterwards.
+        assert!((s.lr_at(2.0) - s.peak_lr()).abs() < 1e-6);
+        assert!(s.lr_at(6.0) < s.lr_at(3.0));
+        assert!(s.lr_at(11.9) < s.lr_at(6.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the NN substrate.
+
+use mini_nn::flat::{flatten_grads, param_count, scatter_grads};
+use mini_nn::layers::{Linear, Relu, Sequential};
+use mini_nn::loss::softmax_cross_entropy;
+use mini_nn::schedule::LrSchedule;
+use mini_tensor::rng::SeedRng;
+use mini_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flatten_scatter_roundtrip(dims in prop::collection::vec(2usize..12, 2..5), seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let mut net = Sequential::new("mlp");
+        for w in dims.windows(2) {
+            net.add(Box::new(Linear::new("fc", w[0], w[1], &mut rng)));
+            net.add(Box::new(Relu::new()));
+        }
+        let n = param_count(&mut net);
+        let flat: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        scatter_grads(&mut net, &flat);
+        let mut back = Vec::new();
+        flatten_grads(&mut net, &mut back);
+        prop_assert_eq!(back, flat);
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(b in 1usize..6, c in 2usize..12, seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let logits = rng.randn_tensor(&[b, c], 3.0);
+        let targets: Vec<usize> = (0..b).map(|i| i % c).collect();
+        let out = softmax_cross_entropy(&logits, &targets);
+        prop_assert!(out.loss >= 0.0);
+        for i in 0..b {
+            let s: f32 = out.dlogits.as_slice()[i * c..(i + 1) * c].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+        // Only the target coordinate is negative in each row.
+        for (i, &t) in targets.iter().enumerate() {
+            for j in 0..c {
+                let v = out.dlogits.as_slice()[i * c + j];
+                if j == t {
+                    prop_assert!(v <= 0.0);
+                } else {
+                    prop_assert!(v >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lr_schedule_never_negative_and_bounded(base in 0.001f32..10.0, workers in 1usize..32,
+                                              warm in 0.0f32..10.0, total in 10.0f32..200.0,
+                                              e_frac in 0.0f32..1.0) {
+        let mut s = LrSchedule::constant(base);
+        s.workers = workers;
+        s.warmup_epochs = warm.min(total * 0.5);
+        s.total_epochs = total;
+        s.poly_power = 2.0;
+        let lr = s.lr_at(e_frac * total);
+        prop_assert!(lr >= 0.0);
+        prop_assert!(lr <= s.peak_lr() + 1e-6);
+    }
+
+    #[test]
+    fn warmup_is_monotone_nondecreasing(base in 0.01f32..1.0, workers in 2usize..16) {
+        let mut s = LrSchedule::constant(base);
+        s.workers = workers;
+        s.warmup_epochs = 5.0;
+        s.total_epochs = 100.0;
+        let mut prev = 0.0f32;
+        for i in 0..=50 {
+            let lr = s.lr_at(i as f32 * 0.1);
+            prop_assert!(lr + 1e-6 >= prev, "warmup not monotone at {i}");
+            prev = lr;
+        }
+    }
+}

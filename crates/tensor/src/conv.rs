@@ -1,0 +1,364 @@
+//! im2col / col2im convolution kernels.
+//!
+//! Layout conventions: activations are `[N, C, H, W]`, filters are
+//! `[F, C, KH, KW]`, all row-major. Convolutions lower to matrix products
+//! (`weights[F, C·KH·KW] · col[C·KH·KW, OH·OW]`), which is both the classic
+//! CPU strategy and convenient for gradient checking.
+
+use crate::matmul;
+use crate::par;
+use crate::tensor::Tensor;
+
+/// Static parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels (filters).
+    pub out_c: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+    /// Zero padding (same both axes).
+    pub pad: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h×w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.k) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of weight parameters (excluding bias).
+    pub fn weight_len(&self) -> usize {
+        self.out_c * self.in_c * self.k * self.k
+    }
+}
+
+/// Unfolds one image `[C, H, W]` into a column matrix
+/// `[C·K·K, OH·OW]` stored row-major in `col`.
+pub fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, col: &mut [f32]) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.k;
+    assert_eq!(img.len(), c * h * w);
+    assert_eq!(col.len(), c * k * k * oh * ow);
+    let mut row = 0usize;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                row += 1;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dst[oy * ow..(oy + 1) * ow].fill(0.0);
+                        continue;
+                    }
+                    let src_row = &img[ch * h * w + iy as usize * w..ch * h * w + (iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        dst[oy * ow + ox] =
+                            if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatters a column matrix back into image
+/// gradients, accumulating overlaps. `img` must be zeroed by the caller.
+pub fn col2im(col: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, img: &mut [f32]) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.k;
+    assert_eq!(img.len(), c * h * w);
+    assert_eq!(col.len(), c * k * k * oh * ow);
+    let mut row = 0usize;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let src = &col[row * oh * ow..(row + 1) * oh * ow];
+                row += 1;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[ch * h * w + iy as usize * w + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution: `x[N,C,H,W] ⊛ weight[F,C,K,K] (+ bias[F]) → [N,F,OH,OW]`.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let d = x.shape().dims();
+    assert_eq!(d.len(), 4, "conv input must be [N,C,H,W]");
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    assert_eq!(c, spec.in_c);
+    assert_eq!(weight.numel(), spec.weight_len());
+    let (oh, ow) = spec.out_hw(h, w);
+    let ckk = c * spec.k * spec.k;
+    let mut out = Tensor::zeros([n, spec.out_c, oh, ow]);
+
+    let xs = x.as_slice();
+    let ws = weight.as_slice();
+    let optr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let per_img_out = spec.out_c * oh * ow;
+    par::par_for_n(n, |i| {
+        let mut col = vec![0.0f32; ckk * oh * ow];
+        im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
+        let oimg = unsafe { std::slice::from_raw_parts_mut(optr.get().add(i * per_img_out), per_img_out) };
+        matmul::matmul_into(ws, &col, oimg, spec.out_c, ckk, oh * ow);
+        if let Some(b) = bias {
+            let bs = b.as_slice();
+            for f in 0..spec.out_c {
+                for v in &mut oimg[f * oh * ow..(f + 1) * oh * ow] {
+                    *v += bs[f];
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Backward convolution. Given upstream `dout[N,F,OH,OW]`, produces
+/// `(dx, dweight, dbias)`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let d = x.shape().dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    let ckk = c * spec.k * spec.k;
+    let xs = x.as_slice();
+    let ws = weight.as_slice();
+    let dos = dout.as_slice();
+
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dw_acc = vec![0.0f32; spec.weight_len()];
+    let mut db_acc = vec![0.0f32; spec.out_c];
+
+    let dxptr = SendPtr(dx.as_mut_slice().as_mut_ptr());
+    // dw/db need cross-image accumulation: collect per-image partials and sum.
+    // Image-level parallelism with sequential reduction keeps determinism.
+    let partials: Vec<(Vec<f32>, Vec<f32>)> = {
+        use rayon::prelude::*;
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut col = vec![0.0f32; ckk * oh * ow];
+                im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
+                let dimg = &dos[i * spec.out_c * oh * ow..(i + 1) * spec.out_c * oh * ow];
+
+                // dW_i[F, ckk] = dout_i[F, oh·ow] · col[ckk, oh·ow]ᵀ
+                let mut dwi = vec![0.0f32; spec.out_c * ckk];
+                matmul::matmul_bt_into(dimg, &col, &mut dwi, spec.out_c, oh * ow, ckk);
+
+                // db_i[f] = Σ dout_i[f, :]
+                let mut dbi = vec![0.0f32; spec.out_c];
+                for f in 0..spec.out_c {
+                    dbi[f] = dimg[f * oh * ow..(f + 1) * oh * ow].iter().sum();
+                }
+
+                // dcol[ckk, oh·ow] = Wᵀ[ckk, F] · dout_i[F, oh·ow]
+                let mut dcol = vec![0.0f32; ckk * oh * ow];
+                matmul::matmul_at_into(ws, dimg, &mut dcol, spec.out_c, ckk, oh * ow);
+                let dximg = unsafe {
+                    std::slice::from_raw_parts_mut(dxptr.get().add(i * c * h * w), c * h * w)
+                };
+                col2im(&dcol, c, h, w, spec, dximg);
+                (dwi, dbi)
+            })
+            .collect()
+    };
+    for (dwi, dbi) in partials {
+        for (a, b) in dw_acc.iter_mut().zip(&dwi) {
+            *a += b;
+        }
+        for (a, b) in db_acc.iter_mut().zip(&dbi) {
+            *a += b;
+        }
+    }
+
+    (
+        dx,
+        Tensor::from_vec(dw_acc, [spec.out_c, spec.in_c, spec.k, spec.k]),
+        Tensor::from_vec(db_acc, [spec.out_c]),
+    )
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    /// Accessor method so closures capture the whole wrapper (edition-2021
+    /// disjoint capture would otherwise capture the raw pointer field).
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Direct (quadruple-loop) convolution used as a test oracle.
+pub fn conv2d_reference(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let d = x.shape().dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros([n, spec.out_c, oh, ow]);
+    for i in 0..n {
+        for f in 0..spec.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map(|b| b.as_slice()[f]).unwrap_or(0.0);
+                    for ch in 0..c {
+                        for ky in 0..spec.k {
+                            for kx in 0..spec.k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    acc += x.at(&[i, ch, iy as usize, ix as usize])
+                                        * weight.at(&[f, ch, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                    *out.at_mut(&[i, f, oy, ox]) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn close(a: &Tensor, b: &Tensor, eps: f32) {
+        assert!(a.shape().same(b.shape()), "{} vs {}", a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < eps, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn out_hw_formula() {
+        let s = Conv2dSpec { in_c: 3, out_c: 8, k: 3, stride: 1, pad: 1 };
+        assert_eq!(s.out_hw(32, 32), (32, 32));
+        let s2 = Conv2dSpec { in_c: 3, out_c: 8, k: 3, stride: 2, pad: 1 };
+        assert_eq!(s2.out_hw(32, 32), (16, 16));
+    }
+
+    #[test]
+    fn im2col_conv_matches_reference() {
+        let mut rng = SeedRng::new(11);
+        for (spec, h, w, n) in [
+            (Conv2dSpec { in_c: 2, out_c: 3, k: 3, stride: 1, pad: 1 }, 7, 7, 2),
+            (Conv2dSpec { in_c: 1, out_c: 4, k: 3, stride: 2, pad: 1 }, 8, 8, 1),
+            (Conv2dSpec { in_c: 3, out_c: 2, k: 1, stride: 1, pad: 0 }, 5, 6, 3),
+        ] {
+            let x = rng.randn_tensor(&[n, spec.in_c, h, w], 1.0);
+            let wt = rng.randn_tensor(&[spec.out_c, spec.in_c, spec.k, spec.k], 0.5);
+            let b = rng.randn_tensor(&[spec.out_c], 0.1);
+            let fast = conv2d_forward(&x, &wt, Some(&b), &spec);
+            let slow = conv2d_reference(&x, &wt, Some(&b), &spec);
+            close(&fast, &slow, 1e-3);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the backward pass correct.
+        let mut rng = SeedRng::new(12);
+        let spec = Conv2dSpec { in_c: 2, out_c: 1, k: 3, stride: 2, pad: 1 };
+        let (c, h, w) = (2, 9, 7);
+        let (oh, ow) = spec.out_hw(h, w);
+        let ckk = c * spec.k * spec.k;
+        let x = rng.randn_tensor(&[c * h * w], 1.0);
+        let y = rng.randn_tensor(&[ckk * oh * ow], 1.0);
+
+        let mut colx = vec![0.0f32; ckk * oh * ow];
+        im2col(x.as_slice(), c, h, w, &spec, &mut colx);
+        let lhs: f64 = colx.iter().zip(y.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+
+        let mut imy = vec![0.0f32; c * h * w];
+        col2im(y.as_slice(), c, h, w, &spec, &mut imy);
+        let rhs: f64 =
+            x.as_slice().iter().zip(&imy).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_finite_difference() {
+        let mut rng = SeedRng::new(13);
+        let spec = Conv2dSpec { in_c: 2, out_c: 2, k: 3, stride: 1, pad: 1 };
+        let x = rng.randn_tensor(&[1, 2, 5, 5], 1.0);
+        let wt = rng.randn_tensor(&[2, 2, 3, 3], 0.5);
+        let b = rng.randn_tensor(&[2], 0.1);
+        // Loss = sum(out * m) for a fixed random mask m → dout = m.
+        let m = rng.randn_tensor(&[1, 2, 5, 5], 1.0);
+        let loss = |x: &Tensor, wt: &Tensor, b: &Tensor| -> f64 {
+            let o = conv2d_forward(x, wt, Some(b), &spec);
+            o.as_slice().iter().zip(m.as_slice()).map(|(a, c)| (*a as f64) * (*c as f64)).sum()
+        };
+        let (dx, dw, db) = conv2d_backward(&x, &wt, &m, &spec);
+
+        let eps = 1e-2f32;
+        let check = |num: f32, ana: f32, what: &str, i: usize| {
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "{what}[{i}]: numeric {num} vs analytic {ana}"
+            );
+        };
+        for i in [0usize, 7, 24, 49] {
+            let mut tp = x.clone();
+            tp.as_mut_slice()[i] += eps;
+            let mut tm = x.clone();
+            tm.as_mut_slice()[i] -= eps;
+            let num = ((loss(&tp, &wt, &b) - loss(&tm, &wt, &b)) / (2.0 * eps as f64)) as f32;
+            check(num, dx.as_slice()[i], "dx", i);
+        }
+        for i in [0usize, 5, 17, 35] {
+            let mut tp = wt.clone();
+            tp.as_mut_slice()[i] += eps;
+            let mut tm = wt.clone();
+            tm.as_mut_slice()[i] -= eps;
+            let num = ((loss(&x, &tp, &b) - loss(&x, &tm, &b)) / (2.0 * eps as f64)) as f32;
+            check(num, dw.as_slice()[i], "dw", i);
+        }
+        for i in [0usize, 1] {
+            let mut tp = b.clone();
+            tp.as_mut_slice()[i] += eps;
+            let mut tm = b.clone();
+            tm.as_mut_slice()[i] -= eps;
+            let num = ((loss(&x, &wt, &tp) - loss(&x, &wt, &tm)) / (2.0 * eps as f64)) as f32;
+            check(num, db.as_slice()[i], "db", i);
+        }
+    }
+}

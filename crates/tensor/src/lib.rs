@@ -1,0 +1,34 @@
+//! # mini-tensor
+//!
+//! A minimal, dependency-light, row-major `f32` tensor library built as the
+//! numerical substrate for the A2SGD reproduction (Bhattacharya et al.,
+//! CLUSTER 2021). It provides exactly what a from-scratch deep-learning stack
+//! needs:
+//!
+//! * an owned dense [`Tensor`] with shape algebra ([`Shape`]),
+//! * elementwise and scalar arithmetic, BLAS-1 style kernels ([`ops`]),
+//! * a blocked, rayon-parallel matrix multiply ([`matmul`]),
+//! * im2col/col2im convolution kernels ([`conv`]),
+//! * reductions, argmax and softmax helpers,
+//! * streaming statistics and histograms ([`stats`]) — used both by the
+//!   Gaussian-K baseline and to regenerate the paper's Figure 1,
+//! * seeded random initialisation ([`rng`]).
+//!
+//! Everything is CPU-only and deterministic given a seed; see `DESIGN.md`
+//! at the workspace root for how this substitutes for the paper's
+//! PyTorch/CUDA stack.
+
+pub mod conv;
+pub mod matmul;
+pub mod ops;
+pub mod par;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Default absolute tolerance used by tests comparing floating point kernels.
+pub const TEST_EPS: f32 = 1e-4;

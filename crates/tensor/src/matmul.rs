@@ -1,0 +1,195 @@
+//! Blocked, parallel matrix multiplication kernels.
+//!
+//! The linear and convolution layers reduce to these three products:
+//! `A·B`, `A·Bᵀ` and `Aᵀ·B`. Each is written as a cache-blocked triple loop
+//! with the k-loop innermost over contiguous memory, parallelised over rows
+//! of the output. This is not a BLAS replacement, but it is adequate for the
+//! scaled training experiments and is fully deterministic.
+
+use crate::par;
+use crate::tensor::Tensor;
+
+/// Register/cache block along the shared (k) dimension.
+const KB: usize = 256;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros([m, n]);
+    matmul_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` — i.e. rows of B are dotted with rows of A.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (n, k2) = dims2(b);
+    assert_eq!(k, k2, "matmul_bt inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros([m, n]);
+    matmul_bt_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+/// `C[k,n] = A[m,k]ᵀ · B[m,n]`.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (m2, n) = dims2(b);
+    assert_eq!(m, m2, "matmul_at outer dims {m} vs {m2}");
+    let mut out = Tensor::zeros([k, n]);
+    matmul_at_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+fn dims2(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "matmul operand must be rank 2, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// Raw slice kernel: `c[m×n] += a[m×k]·b[k×n]` with `c` assumed zeroed.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    // SAFETY-free parallelism: each output row is owned by one task.
+    let cptr = SendPtr(c.as_mut_ptr());
+    par::par_for_n(m, |i| {
+        let crow = unsafe { std::slice::from_raw_parts_mut(cptr.get().add(i * n), n) };
+        let arow = &a[i * k..(i + 1) * k];
+        for k0 in (0..k).step_by(KB) {
+            let k1 = (k0 + KB).min(k);
+            for kk in k0..k1 {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for j in 0..n {
+                    crow[j] += aik * brow[j];
+                }
+            }
+        }
+    });
+}
+
+/// Raw slice kernel: `c[m×n] = a[m×k]·b[n×k]ᵀ` with `c` assumed zeroed.
+pub fn matmul_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let cptr = SendPtr(c.as_mut_ptr());
+    par::par_for_n(m, |i| {
+        let crow = unsafe { std::slice::from_raw_parts_mut(cptr.get().add(i * n), n) };
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            crow[j] = acc;
+        }
+    });
+}
+
+/// Raw slice kernel: `c[k×n] = a[m×k]ᵀ·b[m×n]` with `c` assumed zeroed.
+pub fn matmul_at_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), m * n);
+    assert_eq!(c.len(), k * n);
+    let cptr = SendPtr(c.as_mut_ptr());
+    par::par_for_n(k, |kk| {
+        let crow = unsafe { std::slice::from_raw_parts_mut(cptr.get().add(kk * n), n) };
+        for i in 0..m {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    });
+}
+
+/// Wrapper making a raw pointer Send for row-disjoint parallel writes.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    /// Accessor method so closures capture the whole wrapper (edition-2021
+    /// disjoint capture would otherwise capture the raw pointer field).
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                *c.at_mut(&[i, j]) = acc;
+            }
+        }
+        c
+    }
+
+    fn close(a: &Tensor, b: &Tensor, eps: f32) {
+        assert!(a.shape().same(b.shape()));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < eps, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = SeedRng::new(7);
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (17, 33, 9), (64, 300, 32)] {
+            let a = rng.randn_tensor(&[m, k], 1.0);
+            let b = rng.randn_tensor(&[k, n], 1.0);
+            close(&matmul(&a, &b), &naive(&a, &b), 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_transpose_form() {
+        let mut rng = SeedRng::new(8);
+        let a = rng.randn_tensor(&[13, 21], 1.0);
+        let b = rng.randn_tensor(&[11, 21], 1.0);
+        close(&matmul_bt(&a, &b), &matmul(&a, &b.transpose2()), 1e-3);
+    }
+
+    #[test]
+    fn matmul_at_matches_transpose_form() {
+        let mut rng = SeedRng::new(9);
+        let a = rng.randn_tensor(&[14, 6], 1.0);
+        let b = rng.randn_tensor(&[14, 10], 1.0);
+        close(&matmul_at(&a, &b), &matmul(&a.transpose2(), &b), 1e-3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeedRng::new(10);
+        let a = rng.randn_tensor(&[5, 5], 1.0);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        close(&matmul(&a, &eye), &a, 1e-6);
+        close(&matmul(&eye, &a), &a, 1e-6);
+    }
+}

@@ -1,0 +1,275 @@
+//! Elementwise, scalar and BLAS-1 style operations plus reductions.
+//!
+//! Kernels take and return [`Tensor`]s or operate on `&mut [f32]` slices;
+//! the slice forms are what the optimizer and the gradient-compression
+//! algorithms use on the flattened gradient vector.
+
+use crate::par;
+use crate::tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops
+// ---------------------------------------------------------------------------
+
+fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    assert!(a.shape().same(b.shape()), "shape mismatch {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; a.numel()];
+    let (xa, xb) = (a.as_slice(), b.as_slice());
+    for i in 0..out.len() {
+        out[i] = f(xa[i], xb[i]);
+    }
+    Tensor::from_vec(out, a.shape().clone())
+}
+
+/// `a + b` elementwise.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x + y)
+}
+
+/// `a - b` elementwise.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x - y)
+}
+
+/// `a * b` elementwise (Hadamard).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x * y)
+}
+
+/// `a / b` elementwise.
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x / y)
+}
+
+/// In-place `a += b`.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) {
+    assert!(a.shape().same(b.shape()));
+    let xb = b.as_slice();
+    for (x, y) in a.as_mut_slice().iter_mut().zip(xb) {
+        *x += *y;
+    }
+}
+
+/// In-place `a -= b`.
+pub fn sub_assign(a: &mut Tensor, b: &Tensor) {
+    assert!(a.shape().same(b.shape()));
+    let xb = b.as_slice();
+    for (x, y) in a.as_mut_slice().iter_mut().zip(xb) {
+        *x -= *y;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / map ops
+// ---------------------------------------------------------------------------
+
+/// `a * s` into a new tensor.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    map(a, |x| x * s)
+}
+
+/// In-place `a *= s`.
+pub fn scale_assign(a: &mut Tensor, s: f32) {
+    for x in a.as_mut_slice() {
+        *x *= s;
+    }
+}
+
+/// Applies `f` elementwise into a new tensor.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = a.as_slice().to_vec();
+    for x in &mut out {
+        *x = f(*x);
+    }
+    Tensor::from_vec(out, a.shape().clone())
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 slice kernels (used on flattened gradients — hot paths)
+// ---------------------------------------------------------------------------
+
+/// `y ← a·x + y`. Parallel over chunks for large `n`.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len());
+    par::par_zip_mut(y, x, |yi, &xi| *yi += a * xi);
+}
+
+/// `y ← a·x + b·y`.
+pub fn axpby(a: f32, x: &[f32], b: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len());
+    par::par_zip_mut(y, x, move |yi, &xi| *yi = a * xi + b * *yi);
+}
+
+/// Dot product with f64 accumulation (parallel).
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    par::par_reduce_indexed(x.len(), 0.0f64, |lo, hi| {
+        let mut acc = 0.0f64;
+        for i in lo..hi {
+            acc += x[i] as f64 * y[i] as f64;
+        }
+        acc
+    })
+}
+
+/// Sum with f64 accumulation (parallel for large slices).
+pub fn sum_f64(x: &[f32]) -> f64 {
+    par::par_reduce_indexed(x.len(), 0.0f64, |lo, hi| {
+        let mut acc = 0.0f64;
+        for v in &x[lo..hi] {
+            acc += *v as f64;
+        }
+        acc
+    })
+}
+
+/// l2 norm with f64 accumulation.
+pub fn norm2(x: &[f32]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// Reductions over tensors
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements.
+pub fn sum(a: &Tensor) -> f32 {
+    sum_f64(a.as_slice()) as f32
+}
+
+/// Mean of all elements (0 for empty tensors).
+pub fn mean(a: &Tensor) -> f32 {
+    if a.numel() == 0 {
+        0.0
+    } else {
+        (sum_f64(a.as_slice()) / a.numel() as f64) as f32
+    }
+}
+
+/// Maximum element (−∞ for empty tensors).
+pub fn max(a: &Tensor) -> f32 {
+    a.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Row-wise argmax of a rank-2 tensor `[rows, cols]` → `Vec<usize>` of length
+/// `rows`. Ties break toward the lower index.
+pub fn argmax_rows(a: &Tensor) -> Vec<usize> {
+    assert_eq!(a.shape().rank(), 2);
+    let (r, c) = (a.shape().dim(0), a.shape().dim(1));
+    let x = a.as_slice();
+    let mut out = Vec::with_capacity(r);
+    for i in 0..r {
+        let row = &x[i * c..(i + 1) * c];
+        let mut best = 0;
+        for j in 1..c {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Numerically-stable row-wise softmax of a rank-2 tensor.
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    let (r, c) = (a.shape().dim(0), a.shape().dim(1));
+    let x = a.as_slice();
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        let row = &x[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f64;
+        for j in 0..c {
+            let e = (row[j] - m).exp();
+            out[i * c + j] = e;
+            z += e as f64;
+        }
+        let inv = (1.0 / z) as f32;
+        for j in 0..c {
+            out[i * c + j] *= inv;
+        }
+    }
+    Tensor::from_vec(out, a.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), [v.len()])
+    }
+
+    #[test]
+    fn elementwise_basic() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(div(&b, &a).as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let _ = add(&t(&[1.0]), &t(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let x: Vec<f32> = (0..1000).map(|i| i as f32 * 0.1).collect();
+        let mut y: Vec<f32> = (0..1000).map(|i| -(i as f32)).collect();
+        let mut yref = y.clone();
+        axpy(2.0, &x, &mut y);
+        for i in 0..1000 {
+            yref[i] += 2.0 * x[i];
+        }
+        assert_eq!(y, yref);
+    }
+
+    #[test]
+    fn axpby_matches_reference() {
+        let x = vec![1.0f32, 2.0, 3.0];
+        let mut y = vec![10.0f32, 20.0, 30.0];
+        axpby(0.5, &x, 2.0, &mut y);
+        assert_eq!(y, vec![20.5, 41.0, 61.5]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let x = vec![1.0f32; 10_000];
+        let y = vec![2.0f32; 10_000];
+        assert!((dot(&x, &y) - 20_000.0).abs() < 1e-6);
+        assert!((norm2(&x) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum(&a), 10.0);
+        assert_eq!(mean(&a), 2.5);
+        assert_eq!(mean(&Tensor::zeros([0])), 0.0);
+    }
+
+    #[test]
+    fn argmax_rows_ties_low() {
+        let a = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.5, 0.1, 0.2], [2, 3]);
+        assert_eq!(argmax_rows(&a), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0, 999.0, -5.0, 0.0, 5.0], [2, 3]);
+        let s = softmax_rows(&a);
+        assert!(s.all_finite());
+        for i in 0..2 {
+            let row: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+        }
+        // larger logit ⇒ larger probability
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+    }
+}

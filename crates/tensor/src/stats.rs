@@ -1,0 +1,186 @@
+//! Streaming statistics and histograms.
+//!
+//! [`summary`] gives the single-pass mean/variance used by Gaussian-K's
+//! threshold estimator; [`Histogram`] regenerates the paper's Figure 1
+//! (gradient distribution progression).
+
+/// One-pass summary statistics of a slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of elements.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divides by n).
+    pub var: f64,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+}
+
+impl Summary {
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// Computes [`Summary`] with Welford's algorithm (single pass, stable).
+pub fn summary(xs: &[f32]) -> Summary {
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for (i, &x) in xs.iter().enumerate() {
+        let xd = x as f64;
+        let delta = xd - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (xd - mean);
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let n = xs.len();
+    Summary { n, mean, var: if n == 0 { 0.0 } else { m2 / n as f64 }, min, max }
+}
+
+/// A fixed-range, uniform-bin histogram over `f32` samples.
+///
+/// Out-of-range samples are clamped into the first/last bin so total mass is
+/// conserved — important when plotting gradient tails.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one sample (clamped into range).
+    pub fn add(&mut self, x: f32) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+    }
+
+    /// Adds every element of a slice.
+    pub fn add_all(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    fn bin_of(&self, x: f32) -> usize {
+        let w = (self.hi - self.lo) / self.counts.len() as f32;
+        let idx = ((x - self.lo) / w).floor();
+        (idx.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        let w = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + w * (i as f32 + 0.5)
+    }
+
+    /// Frequencies normalised to sum to 1 (empty histogram → all zeros).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let t = self.total();
+        if t == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / t as f64).collect()
+    }
+
+    /// Renders a compact ASCII bar chart (used by the Fig. 1 regenerator).
+    pub fn ascii(&self, width: usize) -> String {
+        let maxc = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as usize * width) / maxc as usize;
+            out.push_str(&format!(
+                "{:>9.4} | {}{} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar),
+                " ".repeat(width - bar),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_closed_form() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let s = summary(&xs);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.var - 1.25).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = summary(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.var, 0.0);
+    }
+
+    #[test]
+    fn histogram_mass_conserved_with_clamping() {
+        let mut h = Histogram::new(-1.0, 1.0, 10);
+        h.add_all(&[-5.0, -0.99, 0.0, 0.5, 42.0]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2); // -5 clamped with -0.99
+        assert_eq!(h.counts()[9], 1); // 42 clamped
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-6);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(-2.0, 2.0, 8);
+        for i in 0..1000 {
+            h.add((i % 40) as f32 / 10.0 - 2.0);
+        }
+        let s: f64 = h.frequencies().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_goes_to_upper_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.5);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+}

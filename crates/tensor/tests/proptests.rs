@@ -1,0 +1,102 @@
+//! Property-based tests for the tensor substrate.
+
+use mini_tensor::{conv, matmul, ops, rng::SeedRng, stats, Tensor};
+use proptest::prelude::*;
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..12, c in 1usize..12, seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let t = rng.randn_tensor(&[r, c], 1.0);
+        prop_assert_eq!(t.clone(), t.transpose2().transpose2());
+    }
+
+    #[test]
+    fn matmul_left_distributive(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        // A(B + C) == AB + AC
+        let mut rng = SeedRng::new(seed);
+        let a = rng.randn_tensor(&[m, k], 1.0);
+        let b = rng.randn_tensor(&[k, n], 1.0);
+        let c = rng.randn_tensor(&[k, n], 1.0);
+        let lhs = matmul::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&matmul::matmul(&a, &b), &matmul::matmul(&a, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_scalar_commutes(m in 1usize..6, k in 1usize..6, n in 1usize..6, s in -3.0f32..3.0, seed in 0u64..1000) {
+        // (sA)B == s(AB)
+        let mut rng = SeedRng::new(seed);
+        let a = rng.randn_tensor(&[m, k], 1.0);
+        let b = rng.randn_tensor(&[k, n], 1.0);
+        let lhs = matmul::matmul(&ops::scale(&a, s), &b);
+        let rhs = ops::scale(&matmul::matmul(&a, &b), s);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn histogram_mass_conservation(xs in finite_vec(200), bins in 1usize..32) {
+        let mut h = stats::Histogram::new(-1.0, 1.0, bins);
+        h.add_all(&xs);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let freq_sum: f64 = h.frequencies().iter().sum();
+        prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mean_within_bounds(xs in finite_vec(64)) {
+        let s = stats::summary(&xs);
+        prop_assert!(s.mean >= s.min as f64 - 1e-6 && s.mean <= s.max as f64 + 1e-6);
+        prop_assert!(s.var >= 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(r in 1usize..6, c in 1usize..10, seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let t = rng.randn_tensor(&[r, c], 5.0);
+        let s = ops::softmax_rows(&t);
+        for i in 0..r {
+            let row = &s.as_slice()[i * c..(i + 1) * c];
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let total: f32 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_identity(xs in finite_vec(40)) {
+        let x = xs.clone();
+        let mut y = xs.clone();
+        let before = y.clone();
+        ops::axpy(0.0, &x, &mut y);
+        prop_assert_eq!(y, before);
+    }
+
+    #[test]
+    fn conv_linearity_in_input(seed in 0u64..500) {
+        // conv(x1 + x2) == conv(x1) + conv(x2) with zero bias.
+        let spec = conv::Conv2dSpec { in_c: 1, out_c: 2, k: 3, stride: 1, pad: 1 };
+        let mut rng = SeedRng::new(seed);
+        let x1 = rng.randn_tensor(&[1, 1, 6, 6], 1.0);
+        let x2 = rng.randn_tensor(&[1, 1, 6, 6], 1.0);
+        let w = rng.randn_tensor(&[2, 1, 3, 3], 0.5);
+        let lhs = conv::conv2d_forward(&ops::add(&x1, &x2), &w, None, &spec);
+        let rhs = ops::add(
+            &conv::conv2d_forward(&x1, &w, None, &spec),
+            &conv::conv2d_forward(&x2, &w, None, &spec),
+        );
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

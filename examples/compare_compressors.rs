@@ -1,0 +1,52 @@
+//! Compares every gradient-synchronization algorithm in the workspace —
+//! the paper's five plus the extensions — on one workload.
+//!
+//! Run: `cargo run --release --example compare_compressors`
+
+use a2sgd::experiments::scaled_convergence_config;
+use a2sgd::metrics::compression_ratio;
+use a2sgd::registry::AlgoKind;
+use a2sgd::report::Table;
+use a2sgd::trainer::train;
+use mini_nn::models::ModelKind;
+
+fn main() {
+    let algos = [
+        AlgoKind::Dense,
+        AlgoKind::TopK(0.001),
+        AlgoKind::GaussianK(0.001),
+        AlgoKind::Qsgd(4),
+        AlgoKind::A2sgd,
+        AlgoKind::A2sgdAllgather,
+        AlgoKind::A2sgdCarry,
+        AlgoKind::KLevel(4),
+        AlgoKind::RandK(0.001),
+        AlgoKind::TernGrad,
+        AlgoKind::SignSgd,
+    ];
+    println!("Comparing {} synchronization algorithms on FNN-3 (4 workers)\n", algos.len());
+
+    let mut t = Table::new(
+        "algorithm comparison",
+        &["algorithm", "final top-1 %", "bits/iter/worker", "ratio vs dense", "sim time (s)"],
+    );
+    let mut n_params = 0usize;
+    for algo in algos {
+        let cfg = scaled_convergence_config(ModelKind::Fnn3, algo, 4, 13);
+        if n_params == 0 {
+            let mut m = cfg.model.build(cfg.preset, cfg.seed);
+            n_params = mini_nn::flat::param_count(m.as_mut());
+        }
+        let rep = train(&cfg);
+        t.row(&[
+            algo.name().into(),
+            format!("{:.2}", rep.final_metric),
+            rep.wire_bits_per_iter.to_string(),
+            format!("{:.0}×", compression_ratio(n_params, rep.wire_bits_per_iter)),
+            format!("{:.3}", rep.total_sim_seconds),
+        ]);
+        eprintln!("  done: {}", algo.name());
+    }
+    println!("{}", t.render());
+    println!("Note the A2SGD family's constant 64-bit rows (KLevel: 64·L bits).");
+}

@@ -1,0 +1,33 @@
+//! LSTM language modelling with A2SGD on the synthetic Markov corpus —
+//! the workload where the paper reports its headline 3.2×/23.2× gains.
+//!
+//! Run: `cargo run --release --example language_model`
+
+use a2sgd::experiments::scaled_convergence_config;
+use a2sgd::registry::AlgoKind;
+use a2sgd::trainer::train;
+use mini_nn::models::ModelKind;
+use synthdata::MarkovText;
+
+fn main() {
+    // The corpus' conditional entropy gives a perplexity floor any model
+    // can at best reach — the analogue of PTB's ~80–140 range.
+    let probe = MarkovText::new(200, 4, 1000, 16, 0);
+    println!("Synthetic PTB stand-in: vocab 200, Zipf-Markov transitions");
+    println!("theoretical perplexity floor: {:.2}\n", probe.perplexity_floor());
+
+    for algo in [AlgoKind::Dense, AlgoKind::A2sgd, AlgoKind::TopK(0.001)] {
+        let cfg = scaled_convergence_config(ModelKind::LstmPtb, algo, 4, 29);
+        let rep = train(&cfg);
+        println!("── {} ──", rep.label);
+        for e in &rep.epochs {
+            println!(
+                "  epoch {:>2}  train-loss {:>7.4}  perplexity {:>9.2}",
+                e.epoch, e.train_loss, e.metric
+            );
+        }
+        println!("  wire bits/iter/worker: {}\n", rep.wire_bits_per_iter);
+    }
+    println!("Perplexity should fall from ~vocab-size toward the floor; A2SGD");
+    println!("tracks Dense while sending 64 bits instead of ~2.6 Mbit per iteration.");
+}

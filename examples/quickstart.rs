@@ -1,0 +1,34 @@
+//! Quickstart: train a classifier with A2SGD on a 4-worker simulated
+//! cluster and compare its traffic with dense SGD.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use a2sgd::experiments::scaled_convergence_config;
+use a2sgd::registry::AlgoKind;
+use a2sgd::trainer::train;
+use mini_nn::models::ModelKind;
+
+fn main() {
+    println!("A2SGD quickstart: FNN-3 on synthetic MNIST, 4 simulated workers\n");
+
+    for algo in [AlgoKind::Dense, AlgoKind::A2sgd] {
+        let cfg = scaled_convergence_config(ModelKind::Fnn3, algo, 4, 7);
+        let rep = train(&cfg);
+        println!("── {} ──", rep.label);
+        for e in &rep.epochs {
+            println!(
+                "  epoch {:>2}  train-loss {:>7.4}  top-1 {:>6.2}%  sim-time {:>8.3}s",
+                e.epoch, e.train_loss, e.metric, e.sim_seconds
+            );
+        }
+        println!(
+            "  per-iteration traffic: {} bits/worker  (compression ratio vs dense: {:.0}×)",
+            rep.wire_bits_per_iter,
+            a2sgd::metrics::compression_ratio(199_210, rep.wire_bits_per_iter)
+        );
+        println!("  replica divergence before final sync: {:.2e}\n", rep.replica_divergence);
+    }
+
+    println!("A2SGD sends 64 bits per worker per iteration — O(1) in model size —");
+    println!("while matching dense SGD's accuracy trajectory.");
+}

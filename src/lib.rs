@@ -1,0 +1,12 @@
+//! Umbrella crate for the A2SGD reproduction workspace.
+//!
+//! Re-exports the public API of every sub-crate so that examples and
+//! integration tests can use a single import root. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduction results.
+
+pub use a2sgd;
+pub use cluster_comm;
+pub use gradcomp;
+pub use mini_nn;
+pub use mini_tensor;
+pub use synthdata;
