@@ -14,8 +14,11 @@ use cluster_comm::{CostModel, NetworkProfile};
 
 fn main() {
     println!("== Ablation: Allreduce vs Allgather exchange (paper §4.4) ==\n");
-    let profiles =
-        [NetworkProfile::infiniband_100g(), NetworkProfile::ethernet_10g(), NetworkProfile::ethernet_1g()];
+    let profiles = [
+        NetworkProfile::infiniband_100g(),
+        NetworkProfile::ethernet_10g(),
+        NetworkProfile::ethernet_1g(),
+    ];
     let n: usize = 66_034_000; // LSTM-PTB
     let k = (n as f64 * 0.001) as usize;
 
@@ -46,7 +49,12 @@ fn main() {
         let rd = m.recursive_doubling_allreduce(bytes, 8);
         let now = if ring < rd { "ring" } else { "rd" };
         if now != prev_better {
-            println!("  crossover near {} bytes (ring {} vs rd {})", bytes, fmt_seconds(ring), fmt_seconds(rd));
+            println!(
+                "  crossover near {} bytes (ring {} vs rd {})",
+                bytes,
+                fmt_seconds(ring),
+                fmt_seconds(rd)
+            );
             prev_better = now;
         }
     }

@@ -35,7 +35,10 @@ fn main() {
             // Normality check: fraction of mass within ±1σ of the samples.
             let freqs = h.frequencies();
             let central: f64 = freqs[13..28].iter().sum();
-            println!("   mass within central third of range: {:.1}% (normal ≈ 68% within ±1σ)\n", central * 100.0);
+            println!(
+                "   mass within central third of range: {:.1}% (normal ≈ 68% within ±1σ)\n",
+                central * 100.0
+            );
             for (b, f) in freqs.iter().enumerate() {
                 csv.row(&[iter.to_string(), format!("{:.6}", h.bin_center(b)), format!("{f:.6}")]);
             }

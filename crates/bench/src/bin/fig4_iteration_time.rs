@@ -5,8 +5,8 @@
 //! Per-iteration time = T_fb + T_compress + T_comm where
 //! * `T_fb` — forward/backward time. On real V100s this is per-model
 //!   constant across algorithms; we use a fixed per-model constant
-//!   calibrated from our scaled CPU models (documented in EXPERIMENTS.md;
-//!   it shifts every curve equally and does not affect algorithm order).
+//!   calibrated from our scaled CPU models (it shifts every curve
+//!   equally and does not affect algorithm order).
 //! * `T_compress` — **measured** on this machine at the paper-scale n
 //!   (QSGD uses its fast path; the reference path's n² growth is reported
 //!   by fig2).
@@ -29,8 +29,7 @@ fn main() {
     let fast = args.has("fast");
     let worker_counts = [2usize, 4, 8, 16];
     let algos = AlgoKind::paper_five();
-    let model_list =
-        if fast { vec![ModelKind::Fnn3] } else { ModelKind::ALL.to_vec() };
+    let model_list = if fast { vec![ModelKind::Fnn3] } else { ModelKind::ALL.to_vec() };
     let cm = CostModel::new(NetworkProfile::infiniband_100g());
 
     println!("== Figure 4: Average iteration time (paper-scale n, 100 Gbps IB model) ==\n");
@@ -50,10 +49,8 @@ fn main() {
         let mut header: Vec<String> = vec!["P".into()];
         header.extend(algos.iter().map(|a| a.name().to_string()));
         let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-        let mut t = Table::new(
-            &format!("Fig 4 — {} (n = {}, iteration time)", model.name(), n),
-            &hdr,
-        );
+        let mut t =
+            Table::new(&format!("Fig 4 — {} (n = {}, iteration time)", model.name(), n), &hdr);
         for &p in &worker_counts {
             let mut row = vec![p.to_string()];
             for (ai, algo) in algos.iter().enumerate() {

@@ -55,15 +55,15 @@ fn main() {
         let mut header: Vec<String> = vec!["P".into()];
         header.extend(algos.iter().map(|a| a.name().to_string()));
         let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-        let mut t =
-            Table::new(&format!("Fig 5 — {} total training time (s)", model.name()), &hdr);
+        let mut t = Table::new(&format!("Fig 5 — {} total training time (s)", model.name()), &hdr);
         for &p in &worker_counts {
             let iters = samples / global_batch; // iterations per epoch (global batch fixed)
             let mut row = vec![p.to_string()];
             for (ai, algo) in algos.iter().enumerate() {
                 // Compute shrinks with P (batch is split), sync cost does not.
-                let iter_time =
-                    fwd_bwd_seconds(model) * 2.0 / p as f64 + tc[ai] + comm_seconds(*algo, n, p, &cm);
+                let iter_time = fwd_bwd_seconds(model) * 2.0 / p as f64
+                    + tc[ai]
+                    + comm_seconds(*algo, n, p, &cm);
                 let total = iter_time * iters as f64 * epochs as f64;
                 row.push(format!("{:.0}", total));
                 csv.row(&[

@@ -123,7 +123,11 @@ impl Args {
     /// String value of `--key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
         let flag = format!("--{key}");
-        self.argv.iter().position(|a| a == &flag).and_then(|i| self.argv.get(i + 1)).map(|s| s.as_str())
+        self.argv
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(|s| s.as_str())
     }
 
     /// Parsed value of `--key` or `default`.
@@ -160,12 +164,9 @@ mod tests {
     #[test]
     fn compression_timings_are_finite_and_positive() {
         let mut g = synthetic_gradient(100_000, 2);
-        for algo in [
-            AlgoKind::A2sgd,
-            AlgoKind::TopK(0.001),
-            AlgoKind::GaussianK(0.001),
-            AlgoKind::Qsgd(4),
-        ] {
+        for algo in
+            [AlgoKind::A2sgd, AlgoKind::TopK(0.001), AlgoKind::GaussianK(0.001), AlgoKind::Qsgd(4)]
+        {
             let t = compression_compute_seconds(algo, &mut g, 2);
             assert!(t.is_finite() && t > 0.0, "{algo:?}: {t}");
         }

@@ -335,7 +335,7 @@ impl CommHandle {
             } else {
                 mask >> 1
             };
-            while smask >= 1 && smask > 0 {
+            while smask >= 1 {
                 let dst_vr = vr + smask;
                 if dst_vr < world {
                     let dst = (dst_vr + root) % world;
@@ -465,9 +465,7 @@ mod tests {
     fn gen_inputs(world: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..world)
-            .map(|_| (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
-            .collect()
+        (0..world).map(|_| (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect()
     }
 
     fn check_allreduce(world: usize, n: usize, algo: CollectiveAlgo) {
@@ -558,11 +556,8 @@ mod tests {
     fn broadcast_from_every_root() {
         for root in 0..6 {
             let results = run_cluster(6, NetworkProfile::infiniband_100g(), move |h| {
-                let mut data = if h.rank() == root {
-                    vec![42.0f32, 7.0, -1.0]
-                } else {
-                    vec![0.0f32; 3]
-                };
+                let mut data =
+                    if h.rank() == root { vec![42.0f32, 7.0, -1.0] } else { vec![0.0f32; 3] };
                 h.broadcast(root, &mut data);
                 data
             });

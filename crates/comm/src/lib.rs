@@ -1,7 +1,7 @@
 //! # cluster-comm
 //!
-//! An in-process stand-in for the paper's 16-node InfiniBand cluster
-//! (DESIGN.md §2). Each simulated *rank* is a thread; collectives move
+//! An in-process stand-in for the paper's 16-node InfiniBand cluster.
+//! Each simulated *rank* is a thread; collectives move
 //! real data between ranks through shared-memory mailboxes using the same
 //! algorithms MPI implementations use (ring reduce-scatter/allgather,
 //! recursive doubling, binomial broadcast — Thakur, Rabenseifner & Gropp,
@@ -13,7 +13,7 @@
 //!   including the paper's 100 Gbps InfiniBand.
 //! * [`cost`] — closed-form collective cost functions.
 //! * [`collective`] — the data-movement implementations + simulated clocks.
-//! * [`sim`] — spawn a cluster of ranks with crossbeam scoped threads.
+//! * [`sim`] — spawn a cluster of ranks with std scoped threads.
 
 pub mod collective;
 pub mod cost;

@@ -22,20 +22,19 @@ where
 {
     let cluster = Cluster::new(world, profile);
     let mut results: Vec<Option<T>> = (0..world).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut joins = Vec::with_capacity(world);
         for (rank, slot) in results.iter_mut().enumerate() {
             let mut handle = cluster.handle(rank);
             let f = &f;
-            joins.push(s.spawn(move |_| {
+            joins.push(s.spawn(move || {
                 *slot = Some(f(&mut handle));
             }));
         }
         for j in joins {
             j.join().expect("rank thread panicked");
         }
-    })
-    .expect("cluster scope failed");
+    });
     results.into_iter().map(|r| r.expect("rank produced no result")).collect()
 }
 

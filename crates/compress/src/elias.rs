@@ -100,11 +100,8 @@ pub fn gamma_encode(w: &mut BitWriter, v: u64) {
 /// Decodes one gamma-coded integer.
 pub fn gamma_decode(r: &mut BitReader<'_>) -> Option<u64> {
     let mut zeros = 0u32;
-    loop {
-        match r.read_bit()? {
-            false => zeros += 1,
-            true => break,
-        }
+    while !r.read_bit()? {
+        zeros += 1;
     }
     let rest = if zeros == 0 { 0 } else { r.read_bits(zeros)? };
     Some((1u64 << zeros) | rest)

@@ -131,10 +131,7 @@ mod tests {
         let k = 500;
         let t = GaussianK::estimate_threshold(&acc, k);
         let count = acc.iter().filter(|v| v.abs() > t).count();
-        assert!(
-            count >= k / 2 && count <= 2 * k,
-            "selected {count}, wanted ≈ {k}"
-        );
+        assert!(count >= k / 2 && count <= 2 * k, "selected {count}, wanted ≈ {k}");
     }
 
     #[test]
@@ -162,9 +159,9 @@ mod tests {
             let mut g2 = g;
             gk.synchronize(&mut g2, h);
             // kept + residual == original
-            for i in 0..n {
+            for (i, o) in orig.iter().enumerate() {
                 let rebuilt = gk.kept[i] + gk.ef.residual()[i];
-                assert!((rebuilt - orig[i]).abs() < 1e-5);
+                assert!((rebuilt - o).abs() < 1e-5);
             }
             g2
         });

@@ -212,11 +212,7 @@ mod tests {
         }
         for (i, a) in acc.iter().enumerate() {
             let mean = a / trials as f64;
-            assert!(
-                (mean - g[i] as f64).abs() < 0.02,
-                "coord {i}: E = {mean}, g = {}",
-                g[i]
-            );
+            assert!((mean - g[i] as f64).abs() < 0.02, "coord {i}: E = {mean}, g = {}", g[i]);
         }
     }
 

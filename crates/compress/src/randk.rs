@@ -21,7 +21,13 @@ impl RandK {
     /// Creates Rand-K with density `ratio = k/n`.
     pub fn new(n: usize, ratio: f32, seed: u64) -> Self {
         let k = ((n as f64 * ratio as f64).round() as usize).clamp(1, n);
-        RandK { k, ef: ErrorFeedback::new(n), rng: SeedRng::new(seed), acc: vec![0.0; n], kept: vec![0.0; n] }
+        RandK {
+            k,
+            ef: ErrorFeedback::new(n),
+            rng: SeedRng::new(seed),
+            acc: vec![0.0; n],
+            kept: vec![0.0; n],
+        }
     }
 
     /// Selection count.
@@ -98,7 +104,7 @@ mod tests {
     #[test]
     fn selection_covers_space_over_time() {
         let mut rk = RandK::new(50, 0.2, 4);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for _ in 0..200 {
             for i in rk.pick_indices(50) {
                 seen[i as usize] = true;
@@ -115,9 +121,9 @@ mod tests {
             let g: Vec<f32> = (0..n).map(|i| (i as f32 - 32.0) / 7.0).collect();
             let mut g2 = g.clone();
             rk.synchronize(&mut g2, h);
-            for i in 0..n {
+            for (i, o) in g.iter().enumerate() {
                 let rebuilt = rk.kept[i] + rk.ef.residual()[i];
-                assert!((rebuilt - g[i]).abs() < 1e-6);
+                assert!((rebuilt - o).abs() < 1e-6);
             }
             g2
         });

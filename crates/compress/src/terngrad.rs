@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn ternarization_is_unbiased() {
         let g0 = vec![0.4f32, -0.8, 0.1, 1.0];
-        let mut acc = vec![0.0f64; 4];
+        let mut acc = [0.0f64; 4];
         let trials = 6000;
         let mut tg = TernGrad::new(7);
         for _ in 0..trials {

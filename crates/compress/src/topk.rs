@@ -128,13 +128,14 @@ mod tests {
         let n = 100;
         let out = run_cluster(2, NetworkProfile::infiniband_100g(), move |h| {
             let mut tk = TopK::new(n, 0.05);
-            let mut g: Vec<f32> = (0..n).map(|i| ((i * 37 + h.rank() * 11) % 13) as f32 - 6.0).collect();
+            let mut g: Vec<f32> =
+                (0..n).map(|i| ((i * 37 + h.rank() * 11) % 13) as f32 - 6.0).collect();
             let orig = g.clone();
             let stats = tk.synchronize(&mut g, h);
             // acc == orig (memory was zero) == kept + residual
-            for i in 0..n {
+            for (i, o) in orig.iter().enumerate() {
                 let rebuilt = tk.kept[i] + tk.ef.residual()[i];
-                assert!((rebuilt - orig[i]).abs() < 1e-6);
+                assert!((rebuilt - o).abs() < 1e-6);
             }
             stats.wire_bits
         });

@@ -69,7 +69,12 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// The paper's LR policy for `model` instantiated at `workers` workers and
 /// `epochs` total epochs.
-pub fn paper_lr_policy(model: ModelKind, workers: usize, epochs: usize, base_lr: f32) -> LrSchedule {
+pub fn paper_lr_policy(
+    model: ModelKind,
+    workers: usize,
+    epochs: usize,
+    base_lr: f32,
+) -> LrSchedule {
     let mut s = LrSchedule::constant(base_lr);
     s.total_epochs = epochs as f32;
     match model {
@@ -77,7 +82,7 @@ pub fn paper_lr_policy(model: ModelKind, workers: usize, epochs: usize, base_lr:
         // (the global batch is fixed at 128 in Table 1, so there is no
         // per-worker batch growth to compensate). Scaling by worker count
         // instead destabilises the higher-variance residual-retaining
-        // updates (A2SGD diverges at P >= 8) - see EXPERIMENTS.md.
+        // updates (A2SGD diverges at P >= 8).
         ModelKind::Fnn3 | ModelKind::ResNet20 => {
             let _ = workers;
             s.linear_scale = 1.0;
@@ -99,9 +104,7 @@ pub fn paper_lr_policy(model: ModelKind, workers: usize, epochs: usize, base_lr:
 /// Optimizer per Table 1 (LARS only for VGG-16).
 pub fn paper_optimizer(model: ModelKind) -> OptKind {
     match model {
-        ModelKind::Vgg16 => {
-            OptKind::Lars { momentum: 0.9, weight_decay: 5e-4, trust: 1e-2 }
-        }
+        ModelKind::Vgg16 => OptKind::Lars { momentum: 0.9, weight_decay: 5e-4, trust: 1e-2 },
         ModelKind::LstmPtb => OptKind::Sgd { momentum: 0.0, weight_decay: 0.0 },
         _ => OptKind::Sgd { momentum: 0.9, weight_decay: 1e-4 },
     }
@@ -109,7 +112,7 @@ pub fn paper_optimizer(model: ModelKind) -> OptKind {
 
 /// CI-scale convergence experiment (Figures 3/6/7/8 shape reproduction):
 /// small synthetic datasets, scaled model widths, a few epochs. The base
-/// LR is re-tuned per scaled model (documented in EXPERIMENTS.md).
+/// LR is re-tuned per scaled model.
 pub fn scaled_convergence_config(
     model: ModelKind,
     algo: AlgoKind,
@@ -133,10 +136,8 @@ pub fn scaled_convergence_config(
         train_size,
         eval_size,
         lr,
-        opt: match model {
-            // LARS on the tiny VGG is unnecessary; keep it for fidelity.
-            _ => paper_optimizer(model),
-        },
+        // LARS on the tiny VGG is unnecessary; keep it for fidelity.
+        opt: paper_optimizer(model),
         seed,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],

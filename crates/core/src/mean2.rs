@@ -191,11 +191,11 @@ mod tests {
         let m = split_means(&g);
         let mask = residual_in_place(&mut g, &m);
         let (mut pos_sum, mut neg_sum) = (0.0f64, 0.0f64);
-        for i in 0..g.len() {
+        for (i, v) in g.iter().enumerate() {
             if mask.is_pos(i) {
-                pos_sum += g[i] as f64;
+                pos_sum += *v as f64;
             } else {
-                neg_sum += g[i] as f64;
+                neg_sum += *v as f64;
             }
         }
         assert!(pos_sum.abs() / (m.n_pos.max(1) as f64) < 1e-6, "pos residual mean {pos_sum}");

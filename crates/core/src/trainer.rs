@@ -54,7 +54,9 @@ enum Optimizer {
 impl Optimizer {
     fn new(kind: OptKind) -> Self {
         match kind {
-            OptKind::Sgd { momentum, weight_decay } => Optimizer::Sgd(Sgd::new(momentum, weight_decay)),
+            OptKind::Sgd { momentum, weight_decay } => {
+                Optimizer::Sgd(Sgd::new(momentum, weight_decay))
+            }
             OptKind::Lars { momentum, weight_decay, trust } => {
                 Optimizer::Lars(Lars::new(momentum, weight_decay, trust))
             }
@@ -269,8 +271,7 @@ fn run_worker(
             } else {
                 let m = lm.unwrap();
                 let lo = it * cfg.batch_per_worker;
-                let idxs: Vec<usize> =
-                    shard.indices()[lo..lo + cfg.batch_per_worker].to_vec();
+                let idxs: Vec<usize> = shard.indices()[lo..lo + cfg.batch_per_worker].to_vec();
                 m.lm_batch(&idxs)
             };
 

@@ -5,7 +5,8 @@
 //! the A2SGD evaluation needs from data is only (a) learnable structure so
 //! accuracy/perplexity curves have the paper's shape, and (b) identical,
 //! reproducible shards across workers and algorithms so comparisons are
-//! fair. See DESIGN.md §2 for the substitution argument.
+//! fair. Both properties hold by construction: every sample is a pure
+//! function of `(dataset seed, index)`.
 //!
 //! * [`vision`] — class-conditional image generators (28×28×1 MNIST-like
 //!   and 3×32×32 CIFAR-like): each class has a fixed random template plus

@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn shards_partition_the_dataset() {
         let world = 4;
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for rank in 0..world {
             let s = Shard::new(103, rank, world);
             for &i in s.indices() {
@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn permuted_shards_partition_and_decorrelate_labels() {
         let world = 4;
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for rank in 0..world {
             let s = Shard::new_permuted(200, rank, world, 9);
             // Every residue class mod 10 (the synthetic label) must appear

@@ -88,7 +88,7 @@ impl MarkovText {
     pub fn lm_example(&self, i: usize) -> (Vec<u32>, Vec<u32>) {
         let t = self.seq_len;
         let start = i * t;
-        assert!(start + t + 1 <= self.tokens.len(), "example {i} out of range");
+        assert!(start + t < self.tokens.len(), "example {i} out of range");
         let input = self.tokens[start..start + t].to_vec();
         let target = self.tokens[start + 1..start + t + 1].to_vec();
         (input, target)

@@ -61,7 +61,8 @@ impl SyntheticImages {
                         let fy = y as f32 / spec.side as f32 * (coarse_side - 1) as f32;
                         let fx = x as f32 / spec.side as f32 * (coarse_side - 1) as f32;
                         let (y0, x0) = (fy as usize, fx as usize);
-                        let (y1, x1) = ((y0 + 1).min(coarse_side - 1), (x0 + 1).min(coarse_side - 1));
+                        let (y1, x1) =
+                            ((y0 + 1).min(coarse_side - 1), (x0 + 1).min(coarse_side - 1));
                         let (wy, wx) = (fy - y0 as f32, fx - x0 as f32);
                         let v = coarse[y0 * coarse_side + x0] * (1.0 - wy) * (1.0 - wx)
                             + coarse[y0 * coarse_side + x1] * (1.0 - wy) * wx
@@ -172,8 +173,7 @@ mod tests {
             let (img, label) = d.sample(i);
             let mut best = (f32::INFINITY, 0usize);
             for (c, t) in d.templates.iter().enumerate() {
-                let dist: f32 =
-                    img.as_slice().iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum();
+                let dist: f32 = img.as_slice().iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best.0 {
                     best = (dist, c);
                 }

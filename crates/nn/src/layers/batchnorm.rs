@@ -47,13 +47,13 @@ impl BatchNorm2d {
         let mut mean = vec![0.0f64; c];
         let mut var = vec![0.0f64; c];
         for i in 0..n {
-            for cc in 0..c {
+            for (cc, m) in mean.iter_mut().enumerate() {
                 let base = (i * c + cc) * plane;
                 let mut s = 0.0f64;
                 for v in &xs[base..base + plane] {
                     s += *v as f64;
                 }
-                mean[cc] += s;
+                *m += s;
             }
         }
         for m in &mut mean {
@@ -89,8 +89,8 @@ impl Module for BatchNorm2d {
             Mode::Train => {
                 let (m, v) = Self::channel_stats(x, c);
                 for cc in 0..c {
-                    self.running_mean[cc] =
-                        (1.0 - self.momentum) * self.running_mean[cc] + self.momentum * m[cc] as f32;
+                    self.running_mean[cc] = (1.0 - self.momentum) * self.running_mean[cc]
+                        + self.momentum * m[cc] as f32;
                     self.running_var[cc] =
                         (1.0 - self.momentum) * self.running_var[cc] + self.momentum * v[cc] as f32;
                 }
@@ -106,8 +106,8 @@ impl Module for BatchNorm2d {
         let gs = self.gamma.data.as_slice().to_vec();
         let bs = self.beta.data.as_slice().to_vec();
         let mut out = Tensor::zeros(x.shape().clone());
-        for cc in 0..c {
-            self.cached_invstd[cc] = (1.0 / (var[cc] + self.eps as f64).sqrt()) as f32;
+        for (istd, v) in self.cached_invstd.iter_mut().zip(&var) {
+            *istd = (1.0 / (v + self.eps as f64).sqrt()) as f32;
         }
         {
             let xh = xhat.as_mut_slice();
@@ -169,9 +169,7 @@ impl Module for BatchNorm2d {
                 let k = gs[cc] * self.cached_invstd[cc] / m as f32;
                 for j in base..base + plane {
                     dxs[j] = k
-                        * (m as f32 * dos[j]
-                            - sum_dy[cc] as f32
-                            - xh[j] * sum_dy_xhat[cc] as f32);
+                        * (m as f32 * dos[j] - sum_dy[cc] as f32 - xh[j] * sum_dy_xhat[cc] as f32);
                 }
             }
         }

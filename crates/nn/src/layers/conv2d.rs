@@ -17,19 +17,10 @@ pub struct Conv2d {
 }
 
 impl Conv2d {
-    /// Creates a Kaiming-initialised convolution. `bias=false` is the usual
-    /// choice directly before batch norm.
-    pub fn new(
-        name: &str,
-        in_c: usize,
-        out_c: usize,
-        k: usize,
-        stride: usize,
-        pad: usize,
-        bias: bool,
-        rng: &mut SeedRng,
-    ) -> Self {
-        let spec = Conv2dSpec { in_c, out_c, k, stride, pad };
+    /// Creates a Kaiming-initialised convolution with the given geometry.
+    /// `bias=false` is the usual choice directly before batch norm.
+    pub fn new(name: &str, spec: Conv2dSpec, bias: bool, rng: &mut SeedRng) -> Self {
+        let Conv2dSpec { in_c, out_c, k, .. } = spec;
         let fan_in = in_c * k * k;
         let weight = Param::new(
             format!("{name}.weight"),
@@ -47,7 +38,8 @@ impl Conv2d {
 
 impl Module for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let y = conv2d_forward(x, &self.weight.data, self.bias.as_ref().map(|b| &b.data), &self.spec);
+        let y =
+            conv2d_forward(x, &self.weight.data, self.bias.as_ref().map(|b| &b.data), &self.spec);
         self.cached_x = Some(x.clone());
         y
     }
@@ -86,21 +78,36 @@ mod tests {
     #[test]
     fn gradcheck_conv_with_bias() {
         let mut rng = SeedRng::new(21);
-        let conv = Conv2d::new("c", 2, 3, 3, 1, 1, true, &mut rng);
+        let conv = Conv2d::new(
+            "c",
+            Conv2dSpec { in_c: 2, out_c: 3, k: 3, stride: 1, pad: 1 },
+            true,
+            &mut rng,
+        );
         gradcheck::check_module(Box::new(conv), &[2, 2, 5, 5], 31, 3e-2);
     }
 
     #[test]
     fn gradcheck_strided_conv_no_bias() {
         let mut rng = SeedRng::new(22);
-        let conv = Conv2d::new("c", 1, 2, 3, 2, 1, false, &mut rng);
+        let conv = Conv2d::new(
+            "c",
+            Conv2dSpec { in_c: 1, out_c: 2, k: 3, stride: 2, pad: 1 },
+            false,
+            &mut rng,
+        );
         gradcheck::check_module(Box::new(conv), &[1, 1, 8, 8], 32, 3e-2);
     }
 
     #[test]
     fn output_shape() {
         let mut rng = SeedRng::new(23);
-        let mut conv = Conv2d::new("c", 3, 16, 3, 1, 1, false, &mut rng);
+        let mut conv = Conv2d::new(
+            "c",
+            Conv2dSpec { in_c: 3, out_c: 16, k: 3, stride: 1, pad: 1 },
+            false,
+            &mut rng,
+        );
         let y = conv.forward(&Tensor::zeros([4, 3, 32, 32]), Mode::Train);
         assert_eq!(y.shape().dims(), &[4, 16, 32, 32]);
     }

@@ -103,9 +103,7 @@ impl Module for Lstm {
             matmul::matmul_bt_into(&xt, self.w_ih.data.as_slice(), &mut a, b, e, 4 * h);
             let mut ah = vec![0.0f32; b * 4 * h];
             matmul::matmul_bt_into(&hs[step], self.w_hh.data.as_slice(), &mut ah, b, h, 4 * h);
-            for (av, (hv, bv)) in
-                a.iter_mut().zip(ah.iter().zip(bias.iter().cycle()))
-            {
+            for (av, (hv, bv)) in a.iter_mut().zip(ah.iter().zip(bias.iter().cycle())) {
                 *av += hv + bv;
             }
             // Nonlinearities in place: i, f use σ; g uses tanh; o uses σ.

@@ -3,6 +3,7 @@
 use crate::layers::{BatchNorm2d, Conv2d, Relu};
 use crate::module::{Mode, Module};
 use crate::param::Param;
+use mini_tensor::conv::Conv2dSpec;
 use mini_tensor::rng::SeedRng;
 use mini_tensor::Tensor;
 
@@ -21,8 +22,8 @@ enum Shortcut {
     Same,
     /// Option A with cached input geometry `[N, C_in, H, W]`.
     Pad { stride: usize, out_c: usize, in_dims: Vec<usize> },
-    /// Option B.
-    Proj(Conv2d, BatchNorm2d),
+    /// Option B (boxed: the conv + bn pair dwarfs the other variants).
+    Proj(Box<(Conv2d, BatchNorm2d)>),
 }
 
 /// `y = relu( bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x) )`
@@ -57,21 +58,34 @@ impl ResidualBlock {
         kind: ShortcutKind,
         rng: &mut SeedRng,
     ) -> Self {
-        let conv1 = Conv2d::new(&format!("{name}.conv1"), in_c, out_c, 3, stride, 1, false, rng);
+        let conv1 = Conv2d::new(
+            &format!("{name}.conv1"),
+            Conv2dSpec { in_c, out_c, k: 3, stride, pad: 1 },
+            false,
+            rng,
+        );
         let bn1 = BatchNorm2d::new(&format!("{name}.bn1"), out_c);
-        let conv2 = Conv2d::new(&format!("{name}.conv2"), out_c, out_c, 3, 1, 1, false, rng);
+        let conv2 = Conv2d::new(
+            &format!("{name}.conv2"),
+            Conv2dSpec { in_c: out_c, out_c, k: 3, stride: 1, pad: 1 },
+            false,
+            rng,
+        );
         let bn2 = BatchNorm2d::new(&format!("{name}.bn2"), out_c);
         let shortcut = if stride == 1 && in_c == out_c {
             Shortcut::Same
         } else {
             match kind {
-                ShortcutKind::IdentityPad => {
-                    Shortcut::Pad { stride, out_c, in_dims: Vec::new() }
-                }
-                ShortcutKind::Projection => Shortcut::Proj(
-                    Conv2d::new(&format!("{name}.down"), in_c, out_c, 1, stride, 0, false, rng),
+                ShortcutKind::IdentityPad => Shortcut::Pad { stride, out_c, in_dims: Vec::new() },
+                ShortcutKind::Projection => Shortcut::Proj(Box::new((
+                    Conv2d::new(
+                        &format!("{name}.down"),
+                        Conv2dSpec { in_c, out_c, k: 1, stride, pad: 0 },
+                        false,
+                        rng,
+                    ),
                     BatchNorm2d::new(&format!("{name}.down_bn"), out_c),
-                ),
+                ))),
             }
         };
         ResidualBlock {
@@ -144,7 +158,8 @@ impl Module for ResidualBlock {
                 *in_dims = x.shape().dims().to_vec();
                 pad_shortcut_forward(x, *stride, *out_c)
             }
-            Shortcut::Proj(c, bn) => {
+            Shortcut::Proj(p) => {
+                let (c, bn) = p.as_mut();
                 let s = c.forward(x, mode);
                 bn.forward(&s, mode)
             }
@@ -182,7 +197,8 @@ impl Module for ResidualBlock {
         let dx_skip = match &mut self.shortcut {
             Shortcut::Same => d,
             Shortcut::Pad { stride, in_dims, .. } => pad_shortcut_backward(&d, *stride, in_dims),
-            Shortcut::Proj(c, bn) => {
+            Shortcut::Proj(p) => {
+                let (c, bn) = p.as_mut();
                 let ds = bn.backward(&d);
                 c.backward(&ds)
             }
@@ -195,7 +211,8 @@ impl Module for ResidualBlock {
         self.bn1.visit_params(f);
         self.conv2.visit_params(f);
         self.bn2.visit_params(f);
-        if let Shortcut::Proj(c, bn) = &mut self.shortcut {
+        if let Shortcut::Proj(p) = &mut self.shortcut {
+            let (c, bn) = p.as_mut();
             c.visit_params(f);
             bn.visit_params(f);
         }
@@ -265,10 +282,8 @@ mod tests {
         let y = rng.randn_tensor(&[2, 5, 2, 2], 1.0);
         let fx = pad_shortcut_forward(&x, 2, 5);
         let by = pad_shortcut_backward(&y, 2, &[2, 3, 4, 4]);
-        let lhs: f64 =
-            fx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| (*a * *b) as f64).sum();
-        let rhs: f64 =
-            x.as_slice().iter().zip(by.as_slice()).map(|(a, b)| (*a * *b) as f64).sum();
+        let lhs: f64 = fx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| (*a * *b) as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(by.as_slice()).map(|(a, b)| (*a * *b) as f64).sum();
         assert!((lhs - rhs).abs() < 1e-3);
     }
 }

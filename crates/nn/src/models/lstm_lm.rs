@@ -156,10 +156,9 @@ mod tests {
         m.visit_params(&mut |p| grads.push(p.grad.as_slice().to_vec()));
 
         let eps = 1e-2f32;
-        let nparams = grads.len();
-        for pi in 0..nparams {
+        for (pi, pgrad) in grads.iter().enumerate() {
             for coord in [0usize, 1] {
-                if coord >= grads[pi].len() {
+                if coord >= pgrad.len() {
                     continue;
                 }
                 fn probe(m: &mut LstmLm, pi: usize, coord: usize, delta: f32) {
@@ -177,7 +176,7 @@ mod tests {
                 let fm = softmax_cross_entropy(&m.forward(&x, Mode::Train), &targets).loss;
                 probe(&mut m, pi, coord, eps);
                 let num = (fp - fm) / (2.0 * eps);
-                let ana = grads[pi][coord];
+                let ana = pgrad[coord];
                 assert!(
                     (num - ana).abs() < 3e-2 * (1.0 + ana.abs()),
                     "param {pi} coord {coord}: numeric {num} vs analytic {ana}"

@@ -32,7 +32,7 @@ pub enum Preset {
     /// and paper-scale benchmarks).
     Paper,
     /// Reduced widths that train in minutes on CPU (used for convergence
-    /// experiments; documented in EXPERIMENTS.md).
+    /// experiments and CI).
     Scaled,
 }
 
@@ -51,7 +51,8 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// All four, in Table-1 order.
-    pub const ALL: [ModelKind; 4] = [ModelKind::Fnn3, ModelKind::Vgg16, ModelKind::ResNet20, ModelKind::LstmPtb];
+    pub const ALL: [ModelKind; 4] =
+        [ModelKind::Fnn3, ModelKind::Vgg16, ModelKind::ResNet20, ModelKind::LstmPtb];
 
     /// Table-1 display name.
     pub fn name(&self) -> &'static str {

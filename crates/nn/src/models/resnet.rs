@@ -4,6 +4,7 @@ use super::Preset;
 use crate::layers::{
     BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, ResidualBlock, Sequential, ShortcutKind,
 };
+use mini_tensor::conv::Conv2dSpec;
 use mini_tensor::rng::SeedRng;
 
 /// Builds ResNet-20: a 3×3 stem, three stages of three basic blocks with
@@ -19,7 +20,12 @@ pub fn resnet20(preset: Preset, seed: u64) -> Sequential {
     let widths = [16 / div, 32 / div, 64 / div];
     let mut rng = SeedRng::new(seed);
     let mut net = Sequential::new("resnet20");
-    net.add(Box::new(Conv2d::new("stem", 3, widths[0], 3, 1, 1, false, &mut rng)));
+    net.add(Box::new(Conv2d::new(
+        "stem",
+        Conv2dSpec { in_c: 3, out_c: widths[0], k: 3, stride: 1, pad: 1 },
+        false,
+        &mut rng,
+    )));
     net.add(Box::new(BatchNorm2d::new("stem_bn", widths[0])));
     net.add(Box::new(Relu::new()));
     let mut in_c = widths[0];

@@ -2,6 +2,7 @@
 
 use super::Preset;
 use crate::layers::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
+use mini_tensor::conv::Conv2dSpec;
 use mini_tensor::rng::SeedRng;
 
 /// One entry of the VGG configuration string: a convolution width or a
@@ -52,11 +53,7 @@ pub fn vgg16(preset: Preset, seed: u64) -> Sequential {
                 li += 1;
                 net.add(Box::new(Conv2d::new(
                     &format!("conv{li}"),
-                    in_c,
-                    out_c,
-                    3,
-                    1,
-                    1,
+                    Conv2dSpec { in_c, out_c, k: 3, stride: 1, pad: 1 },
                     true,
                     &mut rng,
                 )));

@@ -5,7 +5,6 @@ use mini_nn::layers::{Linear, Relu, Sequential};
 use mini_nn::loss::softmax_cross_entropy;
 use mini_nn::schedule::LrSchedule;
 use mini_tensor::rng::SeedRng;
-use mini_tensor::Tensor;
 use proptest::prelude::*;
 
 proptest! {

@@ -57,7 +57,8 @@ pub fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, col:
                         dst[oy * ow..(oy + 1) * ow].fill(0.0);
                         continue;
                     }
-                    let src_row = &img[ch * h * w + iy as usize * w..ch * h * w + (iy as usize + 1) * w];
+                    let src_row =
+                        &img[ch * h * w + iy as usize * w..ch * h * w + (iy as usize + 1) * w];
                     for ox in 0..ow {
                         let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
                         dst[oy * ow + ox] =
@@ -123,7 +124,8 @@ pub fn conv2d_forward(
     par::par_for_n(n, |i| {
         let mut col = vec![0.0f32; ckk * oh * ow];
         im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
-        let oimg = unsafe { std::slice::from_raw_parts_mut(optr.get().add(i * per_img_out), per_img_out) };
+        let oimg =
+            unsafe { std::slice::from_raw_parts_mut(optr.get().add(i * per_img_out), per_img_out) };
         matmul::matmul_into(ws, &col, oimg, spec.out_c, ckk, oh * ow);
         if let Some(b) = bias {
             let bs = b.as_slice();
@@ -309,8 +311,7 @@ mod tests {
 
         let mut imy = vec![0.0f32; c * h * w];
         col2im(y.as_slice(), c, h, w, &spec, &mut imy);
-        let rhs: f64 =
-            x.as_slice().iter().zip(&imy).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x.as_slice().iter().zip(&imy).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

@@ -14,9 +14,9 @@
 //!   Gaussian-K baseline and to regenerate the paper's Figure 1,
 //! * seeded random initialisation ([`rng`]).
 //!
-//! Everything is CPU-only and deterministic given a seed; see `DESIGN.md`
-//! at the workspace root for how this substitutes for the paper's
-//! PyTorch/CUDA stack.
+//! Everything is CPU-only and deterministic given a seed; this stack
+//! substitutes for the paper's PyTorch/CUDA stack, trading raw speed for
+//! bit-reproducible runs the determinism tests can assert on.
 
 pub mod conv;
 pub mod matmul;

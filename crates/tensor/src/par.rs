@@ -106,9 +106,8 @@ mod tests {
     fn par_reduce_matches_seq() {
         let n = PAR_THRESHOLD * 3 + 5;
         let x: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
-        let par: f64 = par_reduce_indexed(n, 0.0, |lo, hi| {
-            x[lo..hi].iter().map(|v| *v as f64).sum::<f64>()
-        });
+        let par: f64 =
+            par_reduce_indexed(n, 0.0, |lo, hi| x[lo..hi].iter().map(|v| *v as f64).sum::<f64>());
         let seq: f64 = x.iter().map(|v| *v as f64).sum();
         assert!((par - seq).abs() < 1e-6);
     }

@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn linear_index_roundtrip() {
         let s = Shape::new(&[2, 3, 4]);
-        let mut seen = vec![false; 24];
+        let mut seen = [false; 24];
         for i in 0..2 {
             for j in 0..3 {
                 for k in 0..4 {

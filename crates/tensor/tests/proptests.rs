@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
-use mini_tensor::{conv, matmul, ops, rng::SeedRng, stats, Tensor};
+use mini_tensor::{conv, matmul, ops, rng::SeedRng, stats};
 use proptest::prelude::*;
 
 fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {

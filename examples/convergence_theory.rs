@@ -27,6 +27,7 @@ fn main() {
     println!("{:>6} {:>14} {:>12}", "iter", "h_t = ‖w−w*‖²", "η_t");
     for t in 1..=4000usize {
         let eta = 0.5 / (1.0 + t as f32 * 0.01); // satisfies Assumption 2
+
         // Each worker: local gradient → two means; exchange averages them.
         let mut grads: Vec<Vec<f32>> = (0..workers).map(|p| q.grad(p, &w, &mut rng)).collect();
         let mut sum_p = 0.0f32;
@@ -44,8 +45,7 @@ fn main() {
         for (g, mask) in grads.iter_mut().zip(&masks) {
             restore_with_global_means(g, mask, gp, gn);
         }
-        let gnorm2: f64 =
-            grads[0].iter().map(|v| (*v as f64).powi(2)).sum();
+        let gnorm2: f64 = grads[0].iter().map(|v| (*v as f64).powi(2)).sum();
         let h = q.h(&w);
         xs.push(h);
         ys.push(gnorm2);
@@ -60,7 +60,13 @@ fn main() {
 
     let (a, b, violation) = affine_bound_fit(&xs, &ys);
     println!("\nAssumption 3 probe: E‖g + ∇µ‖² ≤ A + B·h with A = {a:.4}, B = {b:.4}");
-    println!("max bound violation: {:.2e} (≈ 0 ⇒ the affine bound holds on this trajectory)", violation);
+    println!(
+        "max bound violation: {:.2e} (≈ 0 ⇒ the affine bound holds on this trajectory)",
+        violation
+    );
     let final_h = *hs.last().unwrap();
-    println!("\nfinal h_t = {final_h:.6} (started at {:.4}) — converged toward w* as Theorem 1 predicts", hs[0]);
+    println!(
+        "\nfinal h_t = {final_h:.6} (started at {:.4}) — converged toward w* as Theorem 1 predicts",
+        hs[0]
+    );
 }

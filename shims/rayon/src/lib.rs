@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! path-depends on this shim instead (see the root `Cargo.toml`
+//! `[workspace.dependencies]`). It implements exactly the parallel-iterator
+//! surface the workspace uses — `par_chunks{,_mut}`, `into_par_iter` on
+//! `Range<usize>`, `map`/`for_each`/`enumerate`/`zip`/`collect`/`reduce` —
+//! with real fork-join parallelism: items go into a shared queue and
+//! `available_parallelism()` scoped threads drain it. Work items here are
+//! coarse (≥ 2^14-element chunks, whole images, matrix rows), so one mutex
+//! pop per item is noise next to the kernel work.
+
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Runs `f` over `items` on a scoped thread pool, returning results in
+/// item order. Falls back to the calling thread for 0/1 items or when the
+/// host reports a single core.
+fn execute<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let next = queue.lock().unwrap().next();
+                    match next {
+                        Some((i, item)) => local.push((i, f(item))),
+                        None => break,
+                    }
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in collected.into_inner().unwrap() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("worker dropped an item")).collect()
+}
+
+/// An eagerly materialized parallel iterator over `items`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Runs `f` on every item across the pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        execute(self.items, f);
+    }
+
+    /// Lazy parallel map; consumed by `collect`/`reduce`.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Pairs every item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Zips two parallel iterators, truncating to the shorter side.
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+}
+
+/// A mapped parallel iterator (the result of [`ParIter::map`]).
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, F> ParMap<I, F>
+where
+    I: Send,
+{
+    /// Executes the map across the pool and collects in item order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        execute(self.items, self.f).into_iter().collect()
+    }
+
+    /// Executes the map across the pool, then folds the ordered results
+    /// with `op` starting from `identity()`.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        execute(self.items, self.f).into_iter().fold(identity(), op)
+    }
+
+    /// Runs the mapped closure for every item, discarding results.
+    pub fn for_each<R>(self)
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        execute(self.items, self.f);
+    }
+}
+
+/// `into_par_iter()` — implemented for the index ranges the kernels use.
+pub trait IntoParallelIterator {
+    /// Element type of the resulting parallel iterator.
+    type Item: Send;
+    /// Converts into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks (last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(size).collect() }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(size).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_zip_for_each_touches_everything() {
+        let n = 10_000;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut y = vec![0.0f32; n];
+        y.par_chunks_mut(64).zip(x.par_chunks(64)).for_each(|(yc, xc)| {
+            for (a, b) in yc.iter_mut().zip(xc) {
+                *a = 2.0 * b;
+            }
+        });
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let mut data = vec![0usize; 500];
+        data.par_chunks_mut(7).enumerate().for_each(|(c, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = c;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 7);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum() {
+        let total = (0..257usize).into_par_iter().map(|i| i as u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 256 * 257 / 2);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

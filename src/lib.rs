@@ -1,8 +1,10 @@
 //! Umbrella crate for the A2SGD reproduction workspace.
 //!
 //! Re-exports the public API of every sub-crate so that examples and
-//! integration tests can use a single import root. See `DESIGN.md` for the
-//! system inventory and `EXPERIMENTS.md` for the reproduction results.
+//! integration tests can use a single import root. `ROADMAP.md` at the
+//! workspace root records the crate map (public names vs directory names),
+//! the tier-1 verify command, and how to run the figure regenerators;
+//! `PAPER.md` holds the source paper's abstract.
 
 pub use a2sgd;
 pub use cluster_comm;

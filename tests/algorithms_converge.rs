@@ -20,10 +20,7 @@ fn a2sgd_matches_dense_within_tolerance() {
     let dense = run(AlgoKind::Dense, 4);
     let a2 = run(AlgoKind::A2sgd, 4);
     assert!(dense > 80.0, "dense baseline degenerate: {dense}");
-    assert!(
-        a2 >= dense - 10.0,
-        "A2SGD ({a2}) fell more than 10 points below Dense ({dense})"
-    );
+    assert!(a2 >= dense - 10.0, "A2SGD ({a2}) fell more than 10 points below Dense ({dense})");
 }
 
 #[test]

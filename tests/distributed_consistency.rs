@@ -16,11 +16,7 @@ fn cfg(algo: AlgoKind, workers: usize, seed: u64) -> a2sgd::trainer::TrainConfig
 #[test]
 fn dense_replicas_stay_identical() {
     let rep = train(&cfg(AlgoKind::Dense, 4, 1));
-    assert!(
-        rep.replica_divergence < 1e-5,
-        "dense replicas diverged: {}",
-        rep.replica_divergence
-    );
+    assert!(rep.replica_divergence < 1e-5, "dense replicas diverged: {}", rep.replica_divergence);
 }
 
 #[test]

@@ -52,7 +52,7 @@ fn lstm_a2sgd_end_to_end() {
     cfg.train_size = 640;
     let rep = train(&cfg);
     // Perplexity must beat the uniform baseline (= vocab size 200); the
-    // longer runs in EXPERIMENTS.md approach the corpus entropy floor.
+    // longer runs approach the corpus entropy floor.
     assert!(rep.final_metric < 195.0, "perplexity {} too high", rep.final_metric);
     assert_eq!(rep.wire_bits_per_iter, 64);
 }

@@ -62,8 +62,7 @@ fn heterogeneous_objectives_reveal_client_drift() {
         }
     }
     // Distance from worker 0's own optimum (should be small-ish)...
-    let d0: f64 =
-        w.iter().zip(&q.centers[0]).map(|(a, b)| ((a - b) as f64).powi(2)).sum();
+    let d0: f64 = w.iter().zip(&q.centers[0]).map(|(a, b)| ((a - b) as f64).powi(2)).sum();
     // ...versus distance from the global optimum (stays macroscopic).
     let hstar = q.h(&w);
     assert!(hstar > 1.0, "expected client drift away from w*: h = {hstar}");
