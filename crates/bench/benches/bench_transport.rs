@@ -1,0 +1,53 @@
+//! In-proc vs TCP-loopback transport comparison: what does the same
+//! allreduce cost on a memcpy mailbox vs a real socket, for a dense
+//! gradient vs the 64-bit A2SGD packet?
+//!
+//! Each iteration stands up a 4-rank cluster (threads; the TCP variant
+//! includes the loopback rendezvous) and runs a burst of allreduces, so
+//! the numbers compare whole data planes, not just steady-state copies.
+
+use cluster_comm::{run_cluster, run_cluster_tcp_threads, CollectiveAlgo, NetworkProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WORLD: usize = 4;
+const ROUNDS: usize = 16;
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_allreduce");
+    group.sample_size(10);
+    // (label, payload length, algorithm): the A2SGD packet takes the
+    // latency-bound recursive-doubling path, the dense gradient the
+    // bandwidth-bound ring — same split both backends.
+    let cases = [
+        ("a2sgd_packet_64bit", 2usize, CollectiveAlgo::RecursiveDoubling),
+        ("dense_grad_64KiB", 16_384usize, CollectiveAlgo::Ring),
+    ];
+    for (label, n, algo) in cases {
+        group.bench_with_input(BenchmarkId::new("inproc", label), &n, |b, &n| {
+            b.iter(|| {
+                run_cluster(WORLD, NetworkProfile::infiniband_100g(), move |h| {
+                    let mut d = vec![1.0f32; n];
+                    for _ in 0..ROUNDS {
+                        h.allreduce_sum_with(&mut d, algo, None);
+                    }
+                    d[0]
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tcp_loopback", label), &n, |b, &n| {
+            b.iter(|| {
+                run_cluster_tcp_threads(WORLD, move |h| {
+                    let mut d = vec![1.0f32; n];
+                    for _ in 0..ROUNDS {
+                        h.allreduce_sum_with(&mut d, algo, None);
+                    }
+                    d[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

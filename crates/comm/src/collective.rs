@@ -1,14 +1,19 @@
-//! Shared-memory collectives with simulated clocks.
+//! MPI-style collectives, generic over the [`Transport`] data plane.
 //!
-//! Data movement is real (MPI-style algorithms over per-rank mailboxes);
-//! time is modeled with [`CostModel`]. Every rank must call the same
-//! sequence of collective operations — the usual SPMD contract.
+//! The algorithms (ring reduce-scatter/allgather, recursive doubling,
+//! binomial broadcast — Thakur, Rabenseifner & Gropp, the paper's
+//! reference [46]) are written against the transport's tagged send/recv
+//! only, so the same code moves bytes through in-process mailboxes or real
+//! TCP sockets. Every rank must call the same sequence of collective
+//! operations — the usual SPMD contract.
+//!
+//! Time is backend-dependent: modeled-clock transports (in-proc) overlay
+//! the Hockney α–β [`CostModel`]; real transports (TCP) accumulate
+//! measured wall time on [`CommHandle::clock`].
 
 use crate::cost::CostModel;
-use crate::profile::NetworkProfile;
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::transport::Transport;
+use std::time::Instant;
 
 /// Which allreduce algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,137 +23,92 @@ pub enum CollectiveAlgo {
     /// Recursive doubling (with the MPICH non-power-of-two fold):
     /// latency-optimal.
     RecursiveDoubling,
-    /// Pick by modeled cost, like an MPI implementation would.
+    /// Pick by modeled cost, like an MPI implementation would. Measured
+    /// backends (no cost model) select against the reference InfiniBand
+    /// profile — the same model as the in-proc default — so TCP and a
+    /// default-profile in-proc cluster make the same, bit-identical
+    /// choice. An in-proc cluster on a *different* `NetworkProfile` may
+    /// legitimately pick the other algorithm near the ring/RD crossover;
+    /// pin the algorithm explicitly when cross-backend bit-equality
+    /// matters under non-default profiles.
     Auto,
 }
 
 /// Per-rank traffic accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
-    /// Bytes physically moved between mailboxes by this rank.
+    /// Application payload bytes this rank handed to the transport
+    /// (4 bytes per `f32` across all algorithm steps, excluding framing).
     pub bytes_sent: u64,
-    /// Mailbox messages sent.
+    /// Frames (point-to-point messages) sent.
     pub messages: u64,
-    /// Logical bits a real network would carry for the application-level
-    /// payloads (set by callers via wire-size overrides; this is what the
-    /// paper's Table 2 counts).
+    /// Bytes the transport reported putting on the wire, *including*
+    /// framing overhead. For the in-process backend a send is a memcpy, so
+    /// this equals `bytes_sent`; for TCP it is measured traffic:
+    /// `bytes_sent + FRAME_HEADER_BYTES · messages`.
+    pub wire_bytes: u64,
+    /// Logical application-level bits per collective *payload* — what the
+    /// paper's Table 2 counts. Incremented exactly once per collective
+    /// call by the payload's logical encoding size (callers override it
+    /// for compressed payloads whose encoding is smaller than the `f32`
+    /// buffer physically moved, e.g. A2SGD's 64-bit two-means packet).
+    /// Deliberately independent of the algorithm's step count, physical
+    /// copies, and framing — compare against `bytes_sent`/`wire_bytes` to
+    /// separate the paper's complexity claim from transport reality.
     pub logical_wire_bits: u64,
 }
 
-struct Msg {
-    tag: u64,
-    origin: usize,
-    data: Vec<f32>,
-}
-
-#[derive(Default)]
-struct Mailbox {
-    q: Mutex<Vec<Msg>>,
-    cv: Condvar,
-}
-
-/// Sense-reversing centralized barrier (see "Rust Atomics and Locks" ch. 4/9
-/// for the pattern). Spin-waits with `yield_now` — rank counts here are ≤ 32.
-struct SenseBarrier {
-    count: AtomicUsize,
-    sense: AtomicBool,
-    total: usize,
-}
-
-impl SenseBarrier {
-    fn new(total: usize) -> Self {
-        SenseBarrier { count: AtomicUsize::new(0), sense: AtomicBool::new(false), total }
-    }
-
-    fn wait(&self, local_sense: &mut bool) {
-        let my_sense = !*local_sense;
-        *local_sense = my_sense;
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-            self.count.store(0, Ordering::Relaxed);
-            self.sense.store(my_sense, Ordering::Release);
-        } else {
-            while self.sense.load(Ordering::Acquire) != my_sense {
-                std::thread::yield_now();
-            }
-        }
-    }
-}
-
-struct Inner {
-    world: usize,
-    cost: CostModel,
-    mailboxes: Vec<Mailbox>,
-    barrier: SenseBarrier,
-    /// Per-rank (clock, payload-bytes) deposit slots for clock syncing.
-    slots: Vec<Mutex<(f64, f64)>>,
-}
-
-/// A simulated cluster; create once, then [`Cluster::handle`] per rank.
-pub struct Cluster {
-    inner: Arc<Inner>,
-}
-
-impl Cluster {
-    /// Builds a cluster of `world` ranks over `profile`.
-    pub fn new(world: usize, profile: NetworkProfile) -> Self {
-        assert!(world >= 1, "world must be ≥ 1");
-        let inner = Inner {
-            world,
-            cost: CostModel::new(profile),
-            mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
-            barrier: SenseBarrier::new(world),
-            slots: (0..world).map(|_| Mutex::new((0.0, 0.0))).collect(),
-        };
-        Cluster { inner: Arc::new(inner) }
-    }
-
-    /// The communication endpoint for `rank`. Each rank must be taken
-    /// exactly once and moved to its thread.
-    pub fn handle(&self, rank: usize) -> CommHandle {
-        assert!(rank < self.inner.world);
-        CommHandle {
-            rank,
-            inner: self.inner.clone(),
-            clock_s: 0.0,
-            stats: TrafficStats::default(),
-            op_seq: 0,
-            local_sense: false,
-        }
-    }
-
-    /// Number of ranks.
-    pub fn world(&self) -> usize {
-        self.inner.world
-    }
-}
-
-/// Rank-local endpoint: collectives, clocks and traffic stats.
+/// Rank-local endpoint: collectives, clocks and traffic stats over an
+/// arbitrary [`Transport`].
 pub struct CommHandle {
-    rank: usize,
-    inner: Arc<Inner>,
+    transport: Box<dyn Transport>,
+    /// `Some` ⇒ modeled time (Hockney overlay on a shared simulated
+    /// clock); `None` ⇒ measured wall time.
+    cost: Option<CostModel>,
     clock_s: f64,
     stats: TrafficStats,
     op_seq: u64,
-    local_sense: bool,
 }
 
 impl CommHandle {
+    /// Wraps a transport. `cost` enables the modeled-time overlay; it
+    /// requires a transport with a shared simulated clock (in-proc).
+    pub fn new(transport: Box<dyn Transport>, cost: Option<CostModel>) -> Self {
+        CommHandle { transport, cost, clock_s: 0.0, stats: TrafficStats::default(), op_seq: 0 }
+    }
+
+    /// Builds a measured-time TCP handle from the `A2SGD_RANK` /
+    /// `A2SGD_WORLD` / `A2SGD_MASTER_ADDR` rendezvous environment.
+    pub fn tcp_from_env() -> Result<Self, String> {
+        let cfg = crate::transport::TcpConfig::from_env()?;
+        let t = crate::transport::Tcp::connect(&cfg)?;
+        Ok(CommHandle::new(Box::new(t), None))
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Cluster size.
     pub fn world(&self) -> usize {
-        self.inner.world
+        self.transport.world()
     }
 
-    /// The cost model in force.
-    pub fn cost_model(&self) -> CostModel {
-        self.inner.cost
+    /// The transport backend's name (`"inproc"`, `"tcp"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.transport.backend_name()
     }
 
-    /// Simulated seconds elapsed on this rank.
+    /// The cost model in force — `None` on measured (real-network)
+    /// backends.
+    pub fn cost_model(&self) -> Option<CostModel> {
+        self.cost
+    }
+
+    /// Seconds elapsed on this rank: simulated on modeled backends,
+    /// measured wall time spent inside collectives (plus
+    /// [`advance_compute`](Self::advance_compute)) on real ones.
     pub fn clock(&self) -> f64 {
         self.clock_s
     }
@@ -170,25 +130,14 @@ impl CommHandle {
 
     // -- internals ---------------------------------------------------------
 
-    fn send(&mut self, to: usize, tag: u64, origin: usize, data: Vec<f32>) {
+    fn send(&mut self, to: usize, tag: u64, data: &[f32]) {
         self.stats.bytes_sent += 4 * data.len() as u64;
+        self.stats.wire_bytes += self.transport.send(to, tag, data);
         self.stats.messages += 1;
-        let mb = &self.inner.mailboxes[to];
-        let mut q = mb.q.lock();
-        q.push(Msg { tag, origin, data });
-        mb.cv.notify_all();
     }
 
-    fn recv(&mut self, tag: u64) -> (usize, Vec<f32>) {
-        let mb = &self.inner.mailboxes[self.rank];
-        let mut q = mb.q.lock();
-        loop {
-            if let Some(pos) = q.iter().position(|m| m.tag == tag) {
-                let m = q.swap_remove(pos);
-                return (m.origin, m.data);
-            }
-            mb.cv.wait(&mut q);
-        }
+    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32> {
+        self.transport.recv(from, tag)
     }
 
     fn next_tag(&mut self) -> u64 {
@@ -196,38 +145,51 @@ impl CommHandle {
         self.op_seq << 16
     }
 
-    fn barrier_wait(&mut self) {
-        self.inner.barrier.wait(&mut self.local_sense);
+    /// The model `Auto` selects algorithms against: the backend's own cost
+    /// model, or the reference InfiniBand profile on measured backends
+    /// (keeping the choice deterministic and backend-independent).
+    fn selection_model(&self) -> CostModel {
+        self.cost.unwrap_or_else(|| CostModel::new(crate::NetworkProfile::infiniband_100g()))
     }
 
-    /// Clock synchronization at a collective: all ranks meet, the shared
-    /// clock becomes the max, then `cost_s` is added. `payload_bytes` is
-    /// also maxed so all ranks agree on the modeled message size.
-    fn sync_clocks(&mut self, payload_bytes: f64, cost_of: impl Fn(&CostModel, f64, usize) -> f64) {
-        let world = self.inner.world;
-        *self.inner.slots[self.rank].lock() = (self.clock_s, payload_bytes);
-        self.barrier_wait();
-        let mut maxc = f64::NEG_INFINITY;
-        let mut maxb = 0.0f64;
-        for s in &self.inner.slots {
-            let (c, b) = *s.lock();
-            maxc = maxc.max(c);
-            maxb = maxb.max(b);
+    /// Closes out a collective on the local clock. Modeled backends meet
+    /// on the shared simulated clock (all ranks jump to the max, plus the
+    /// collective's analytic cost for the agreed payload size); measured
+    /// backends add the wall time since `t0`.
+    fn finish_op(
+        &mut self,
+        t0: Instant,
+        payload_bytes: f64,
+        cost_of: impl Fn(&CostModel, f64, usize) -> f64,
+    ) {
+        match self.cost {
+            Some(model) => {
+                let (maxc, maxb) = self
+                    .transport
+                    .clock_exchange(self.clock_s, payload_bytes)
+                    .expect("modeled timing requires a clock-exchange transport");
+                self.clock_s = maxc + cost_of(&model, maxb, self.transport.world());
+            }
+            None => self.clock_s += t0.elapsed().as_secs_f64(),
         }
-        self.barrier_wait();
-        let cost = cost_of(&self.inner.cost, maxb, world);
-        self.clock_s = maxc + cost;
     }
 
     // -- public collectives -------------------------------------------------
 
-    /// Pure synchronization barrier (modeled latency only).
+    /// Full synchronization barrier (modeled latency on simulated
+    /// backends, a real dissemination rendezvous on TCP). Barrier control
+    /// frames carry no payload but do hit the wire, so they count toward
+    /// `messages`/`wire_bytes` (never `bytes_sent`/`logical_wire_bits`).
     pub fn barrier(&mut self) {
-        self.sync_clocks(0.0, |m, _, p| m.barrier(p));
+        let t0 = Instant::now();
+        let (frames, wire_bytes) = self.transport.barrier();
+        self.stats.messages += frames;
+        self.stats.wire_bytes += wire_bytes;
+        self.finish_op(t0, 0.0, |m, _, p| m.barrier(p));
     }
 
     /// In-place allreduce-sum with algorithm selection and an optional
-    /// override of the *modeled* wire bytes (for compressed payloads whose
+    /// override of the *logical* wire bytes (for compressed payloads whose
     /// logical encoding is smaller than the f32 buffer we physically move).
     pub fn allreduce_sum_with(
         &mut self,
@@ -238,14 +200,15 @@ impl CommHandle {
         let physical = 4.0 * data.len() as f64;
         let modeled = wire_bytes.unwrap_or(physical);
         self.stats.logical_wire_bits += (modeled * 8.0) as u64;
-        if self.inner.world > 1 {
+        let t0 = Instant::now();
+        if self.world() > 1 {
             match algo {
                 CollectiveAlgo::Ring => self.ring_allreduce(data),
                 CollectiveAlgo::RecursiveDoubling => self.rd_allreduce(data),
                 CollectiveAlgo::Auto => {
-                    let m = self.inner.cost;
-                    if m.ring_allreduce(modeled, self.inner.world)
-                        <= m.recursive_doubling_allreduce(modeled, self.inner.world)
+                    let m = self.selection_model();
+                    if m.ring_allreduce(modeled, self.world())
+                        <= m.recursive_doubling_allreduce(modeled, self.world())
                     {
                         self.ring_allreduce(data)
                     } else {
@@ -254,8 +217,7 @@ impl CommHandle {
                 }
             }
         }
-        let algo_for_cost = algo;
-        self.sync_clocks(modeled, move |m, b, p| match algo_for_cost {
+        self.finish_op(t0, modeled, move |m, b, p| match algo {
             CollectiveAlgo::Ring => m.ring_allreduce(b, p),
             CollectiveAlgo::RecursiveDoubling => m.recursive_doubling_allreduce(b, p),
             CollectiveAlgo::Auto => m.allreduce(b, p),
@@ -270,7 +232,7 @@ impl CommHandle {
     /// In-place allreduce-average (auto algorithm).
     pub fn allreduce_avg(&mut self, data: &mut [f32]) {
         self.allreduce_sum(data);
-        let inv = 1.0 / self.inner.world as f32;
+        let inv = 1.0 / self.world() as f32;
         for v in data.iter_mut() {
             *v *= inv;
         }
@@ -278,47 +240,52 @@ impl CommHandle {
 
     /// Ring allgather of a variable-length contribution. Returns all
     /// contributions indexed by rank. `wire_bytes_each` overrides the
-    /// modeled per-rank message size.
+    /// logical per-rank message size.
     pub fn allgather(&mut self, data: &[f32], wire_bytes_each: Option<f64>) -> Vec<Vec<f32>> {
-        let world = self.inner.world;
+        let world = self.world();
+        let rank = self.rank();
         let modeled = wire_bytes_each.unwrap_or(4.0 * data.len() as f64);
         self.stats.logical_wire_bits += (modeled * 8.0) as u64;
+        let t0 = Instant::now();
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); world];
-        out[self.rank] = data.to_vec();
+        out[rank] = data.to_vec();
         if world > 1 {
             let tag = self.next_tag();
-            let right = (self.rank + 1) % world;
-            let mut cur_origin = self.rank;
+            let right = (rank + 1) % world;
+            let left = (rank + world - 1) % world;
             let mut cur = data.to_vec();
             for step in 0..world - 1 {
-                self.send(right, tag + step as u64, cur_origin, cur);
-                let (origin, got) = self.recv(tag + step as u64);
+                self.send(right, tag + step as u64, &cur);
+                let got = self.recv(left, tag + step as u64);
+                // The chunk received at `step` started at the rank `step+1`
+                // hops to the left — the ring shifts one hop per step.
+                let origin = (rank + world - 1 - step) % world;
                 out[origin] = got.clone();
-                cur_origin = origin;
                 cur = got;
             }
         }
-        self.sync_clocks(modeled, |m, b, p| m.ring_allgather(b, p));
+        self.finish_op(t0, modeled, |m, b, p| m.ring_allgather(b, p));
         out
     }
 
     /// Binomial-tree broadcast from `root`; `data` must be sized correctly
     /// on every rank (contents are overwritten on non-roots).
     pub fn broadcast(&mut self, root: usize, data: &mut [f32]) {
-        let world = self.inner.world;
+        let world = self.world();
+        let rank = self.rank();
         let bytes = 4.0 * data.len() as f64;
-        self.stats.logical_wire_bits += if self.rank == root { (bytes * 8.0) as u64 } else { 0 };
+        self.stats.logical_wire_bits += if rank == root { (bytes * 8.0) as u64 } else { 0 };
+        let t0 = Instant::now();
         if world > 1 {
             let tag = self.next_tag();
-            let vr = (self.rank + world - root) % world;
+            let vr = (rank + world - root) % world;
             let mut mask = 1usize;
             // Receive phase: rank vr receives once, from vr - 2^k where 2^k
             // is the highest power of two ≤ vr.
             while mask < world {
                 if vr & mask != 0 {
-                    let src_vr = vr - mask;
-                    let _ = src_vr;
-                    let (_, got) = self.recv(tag + mask as u64);
+                    let src = (vr - mask + root) % world;
+                    let got = self.recv(src, tag + mask as u64);
                     data.copy_from_slice(&got);
                     break;
                 }
@@ -339,7 +306,7 @@ impl CommHandle {
                 let dst_vr = vr + smask;
                 if dst_vr < world {
                     let dst = (dst_vr + root) % world;
-                    self.send(dst, tag + smask as u64, self.rank, data.to_vec());
+                    self.send(dst, tag + smask as u64, data);
                 }
                 if smask == 1 {
                     break;
@@ -347,7 +314,7 @@ impl CommHandle {
                 smask >>= 1;
             }
         }
-        self.sync_clocks(bytes, |m, b, p| m.broadcast(b, p));
+        self.finish_op(t0, bytes, |m, b, p| m.broadcast(b, p));
     }
 
     // -- allreduce algorithm implementations --------------------------------
@@ -361,18 +328,20 @@ impl CommHandle {
     }
 
     fn ring_allreduce(&mut self, data: &mut [f32]) {
-        let world = self.inner.world;
+        let world = self.world();
+        let rank = self.rank();
         let n = data.len();
         let tag = self.next_tag();
-        let right = (self.rank + 1) % world;
+        let right = (rank + 1) % world;
+        let left = (rank + world - 1) % world;
 
         // Reduce-scatter.
         for step in 0..world - 1 {
-            let send_c = (self.rank + world - step) % world;
-            let recv_c = (self.rank + world - step - 1) % world;
+            let send_c = (rank + world - step) % world;
+            let recv_c = (rank + world - step - 1) % world;
             let (slo, shi) = Self::chunk_bounds(n, world, send_c);
-            self.send(right, tag + step as u64, self.rank, data[slo..shi].to_vec());
-            let (_, got) = self.recv(tag + step as u64);
+            self.send(right, tag + step as u64, &data[slo..shi]);
+            let got = self.recv(left, tag + step as u64);
             let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
             debug_assert_eq!(got.len(), rhi - rlo);
             for (d, g) in data[rlo..rhi].iter_mut().zip(&got) {
@@ -381,18 +350,19 @@ impl CommHandle {
         }
         // Allgather.
         for step in 0..world - 1 {
-            let send_c = (self.rank + 1 + world - step) % world;
-            let recv_c = (self.rank + world - step) % world;
+            let send_c = (rank + 1 + world - step) % world;
+            let recv_c = (rank + world - step) % world;
             let (slo, shi) = Self::chunk_bounds(n, world, send_c);
-            self.send(right, tag + (world - 1 + step) as u64, self.rank, data[slo..shi].to_vec());
-            let (_, got) = self.recv(tag + (world - 1 + step) as u64);
+            self.send(right, tag + (world - 1 + step) as u64, &data[slo..shi]);
+            let got = self.recv(left, tag + (world - 1 + step) as u64);
             let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
             data[rlo..rhi].copy_from_slice(&got);
         }
     }
 
     fn rd_allreduce(&mut self, data: &mut [f32]) {
-        let world = self.inner.world;
+        let world = self.world();
+        let rank = self.rank();
         let tag = self.next_tag();
         let mut pow2 = 1usize;
         while pow2 * 2 <= world {
@@ -402,19 +372,19 @@ impl CommHandle {
 
         // Fold: the first 2·rem ranks pair up; even ranks push their data
         // into odd ranks, which join the power-of-two core.
-        let new_rank: Option<usize> = if self.rank < 2 * rem {
-            if self.rank % 2 == 0 {
-                self.send(self.rank + 1, tag, self.rank, data.to_vec());
+        let new_rank: Option<usize> = if rank < 2 * rem {
+            if rank % 2 == 0 {
+                self.send(rank + 1, tag, data);
                 None
             } else {
-                let (_, got) = self.recv(tag);
+                let got = self.recv(rank - 1, tag);
                 for (d, g) in data.iter_mut().zip(&got) {
                     *d += *g;
                 }
-                Some(self.rank / 2)
+                Some(rank / 2)
             }
         } else {
-            Some(self.rank - rem)
+            Some(rank - rem)
         };
 
         // Core: recursive doubling among `pow2` ranks.
@@ -424,8 +394,8 @@ impl CommHandle {
             let mut stage = 1u64;
             while mask < pow2 {
                 let partner = to_real(nr ^ mask);
-                self.send(partner, tag + stage, self.rank, data.to_vec());
-                let (_, got) = self.recv(tag + stage);
+                self.send(partner, tag + stage, data);
+                let got = self.recv(partner, tag + stage);
                 for (d, g) in data.iter_mut().zip(&got) {
                     *d += *g;
                 }
@@ -435,11 +405,11 @@ impl CommHandle {
         }
 
         // Unfold: odd partners return the result to the folded even ranks.
-        if self.rank < 2 * rem {
-            if self.rank % 2 == 1 {
-                self.send(self.rank - 1, tag + 100, self.rank, data.to_vec());
+        if rank < 2 * rem {
+            if rank % 2 == 1 {
+                self.send(rank - 1, tag + 100, data);
             } else {
-                let (_, got) = self.recv(tag + 100);
+                let got = self.recv(rank + 1, tag + 100);
                 data.copy_from_slice(&got);
             }
         }
@@ -450,6 +420,7 @@ impl CommHandle {
 mod tests {
     use super::*;
     use crate::sim::run_cluster;
+    use crate::NetworkProfile;
 
     fn reference_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
         let n = inputs[0].len();
@@ -606,6 +577,8 @@ mod tests {
             // Ring with P=2: 2·(P−1) = 2 sends of ~half the vector each.
             assert_eq!(s.messages, 2);
             assert_eq!(s.bytes_sent, 4 * 100);
+            // In-process transport has no framing: wire == payload.
+            assert_eq!(s.wire_bytes, s.bytes_sent);
         }
     }
 

@@ -1,26 +1,43 @@
 //! # cluster-comm
 //!
-//! An in-process stand-in for the paper's 16-node InfiniBand cluster.
-//! Each simulated *rank* is a thread; collectives move
-//! real data between ranks through shared-memory mailboxes using the same
-//! algorithms MPI implementations use (ring reduce-scatter/allgather,
-//! recursive doubling, binomial broadcast — Thakur, Rabenseifner & Gropp,
-//! the paper's reference [46]). Wall-clock *time*, however, is modeled
-//! analytically with the Hockney α–β model parameterized by a network
-//! profile, because the actual transport here is a memcpy.
+//! The communication layer of the A2SGD reproduction: MPI-style
+//! collectives (ring reduce-scatter/allgather, recursive doubling,
+//! binomial broadcast — Thakur, Rabenseifner & Gropp, the paper's
+//! reference [46]) over a pluggable [`transport::Transport`] data plane
+//! with two backends:
+//!
+//! * **In-process** ([`transport::InProc`], [`run_cluster`]) — every rank
+//!   is a thread, a send is a memcpy through shared-memory mailboxes, and
+//!   wall-clock *time* is modeled analytically with the Hockney α–β model
+//!   parameterized by a [`NetworkProfile`] — the seed repo's simulated
+//!   16-node InfiniBand cluster.
+//! * **TCP** ([`transport::Tcp`], [`run_cluster_tcp`],
+//!   [`run_cluster_tcp_threads`]) — every rank is an OS process (or
+//!   thread) holding persistent per-peer `TcpStream`s with length-prefixed
+//!   little-endian framing ([`transport::wire`]); rendezvous is
+//!   torchrun-style through `A2SGD_RANK` / `A2SGD_WORLD` /
+//!   `A2SGD_MASTER_ADDR`, and both traffic and time are *measured*, not
+//!   simulated.
 //!
 //! * [`profile::NetworkProfile`] — α (latency) and β (bandwidth) presets,
 //!   including the paper's 100 Gbps InfiniBand.
 //! * [`cost`] — closed-form collective cost functions.
-//! * [`collective`] — the data-movement implementations + simulated clocks.
-//! * [`sim`] — spawn a cluster of ranks with std scoped threads.
+//! * [`collective`] — the transport-generic collective algorithms,
+//!   per-rank clocks and [`TrafficStats`] accounting.
+//! * [`transport`] — the data planes, wire codec and launchers.
+//! * [`sim`] — spawn an in-process cluster of ranks with scoped threads.
 
 pub mod collective;
 pub mod cost;
 pub mod profile;
 pub mod sim;
+pub mod transport;
 
-pub use collective::{Cluster, CollectiveAlgo, CommHandle, TrafficStats};
+pub use collective::{CollectiveAlgo, CommHandle, TrafficStats};
 pub use cost::CostModel;
 pub use profile::NetworkProfile;
-pub use sim::run_cluster;
+pub use sim::{run_cluster, Cluster};
+pub use transport::{
+    run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank, CommBackend,
+    TcpConfig, Transport,
+};

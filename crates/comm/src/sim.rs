@@ -1,7 +1,36 @@
-//! Cluster spawn helper.
+//! In-process cluster construction and the thread-rank spawn helper.
 
-use crate::collective::{Cluster, CommHandle};
+use crate::collective::CommHandle;
+use crate::cost::CostModel;
 use crate::profile::NetworkProfile;
+use crate::transport::InProcShared;
+use std::sync::Arc;
+
+/// A simulated in-process cluster (thread ranks, mailbox transport,
+/// modeled Hockney time); create once, then [`Cluster::handle`] per rank.
+pub struct Cluster {
+    shared: Arc<InProcShared>,
+    world: usize,
+    cost: CostModel,
+}
+
+impl Cluster {
+    /// Builds a cluster of `world` ranks over `profile`.
+    pub fn new(world: usize, profile: NetworkProfile) -> Self {
+        Cluster { shared: InProcShared::new(world), world, cost: CostModel::new(profile) }
+    }
+
+    /// The communication endpoint for `rank`. Each rank must be taken
+    /// exactly once and moved to its thread.
+    pub fn handle(&self, rank: usize) -> CommHandle {
+        CommHandle::new(Box::new(self.shared.endpoint(rank)), Some(self.cost))
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+}
 
 /// Runs `f` on `world` simulated ranks (one OS thread each) and returns the
 /// per-rank results in rank order. Panics in any rank propagate.
@@ -57,5 +86,13 @@ mod tests {
             }
             0
         });
+    }
+
+    #[test]
+    fn handles_report_backend_and_cost_model() {
+        let out = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
+            (h.backend_name(), h.cost_model().is_some())
+        });
+        assert!(out.iter().all(|&(name, modeled)| name == "inproc" && modeled));
     }
 }

@@ -1,0 +1,175 @@
+//! The in-process transport: per-rank shared-memory mailboxes.
+//!
+//! Every rank is a thread of one process; a send pushes a message into the
+//! destination's mailbox under a mutex, a receive blocks on the mailbox
+//! condvar. This is the seed repo's original data plane, now behind the
+//! [`Transport`] trait. It is the only backend with a shared *simulated*
+//! clock ([`Transport::clock_exchange`] returns `Some`), which is what lets
+//! the Hockney cost model overlay wall time analytically.
+
+use crate::transport::Transport;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Msg {
+    tag: u64,
+    from: usize,
+    data: Vec<f32>,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    q: Mutex<Vec<Msg>>,
+    cv: Condvar,
+}
+
+/// Sense-reversing centralized barrier (see "Rust Atomics and Locks" ch. 4/9
+/// for the pattern). Spin-waits with `yield_now` — rank counts here are ≤ 32.
+struct SenseBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    total: usize,
+}
+
+impl SenseBarrier {
+    fn new(total: usize) -> Self {
+        SenseBarrier { count: AtomicUsize::new(0), sense: AtomicBool::new(false), total }
+    }
+
+    fn wait(&self, local_sense: &mut bool) {
+        let my_sense = !*local_sense;
+        *local_sense = my_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// State shared by all ranks of one in-process cluster: mailboxes, the
+/// rendezvous barrier, and the clock-exchange deposit slots.
+pub struct InProcShared {
+    world: usize,
+    mailboxes: Vec<Mailbox>,
+    barrier: SenseBarrier,
+    /// Per-rank (clock, payload-bytes) deposit slots for clock syncing.
+    slots: Vec<Mutex<(f64, f64)>>,
+}
+
+impl InProcShared {
+    /// Allocates the shared state for `world` ranks.
+    pub fn new(world: usize) -> Arc<Self> {
+        assert!(world >= 1, "world must be ≥ 1");
+        Arc::new(InProcShared {
+            world,
+            mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
+            barrier: SenseBarrier::new(world),
+            slots: (0..world).map(|_| Mutex::new((0.0, 0.0))).collect(),
+        })
+    }
+
+    /// The per-rank endpoint. Each rank must be taken exactly once and
+    /// moved to its thread.
+    pub fn endpoint(self: &Arc<Self>, rank: usize) -> InProc {
+        assert!(rank < self.world);
+        InProc { rank, shared: self.clone(), local_sense: false }
+    }
+}
+
+/// One rank's endpoint of the in-process mailbox transport.
+pub struct InProc {
+    rank: usize,
+    shared: Arc<InProcShared>,
+    local_sense: bool,
+}
+
+impl Transport for InProc {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.shared.world
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn send(&mut self, to: usize, tag: u64, payload: &[f32]) -> u64 {
+        let mb = &self.shared.mailboxes[to];
+        let mut q = mb.q.lock();
+        q.push(Msg { tag, from: self.rank, data: payload.to_vec() });
+        mb.cv.notify_all();
+        // A memcpy has no framing: wire bytes == payload bytes.
+        4 * payload.len() as u64
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32> {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.q.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.tag == tag && m.from == from) {
+                return q.swap_remove(pos).data;
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    fn barrier(&mut self) -> (u64, u64) {
+        self.shared.barrier.wait(&mut self.local_sense);
+        (0, 0) // shared-memory rendezvous: nothing on any wire
+    }
+
+    fn clock_exchange(&mut self, clock_s: f64, payload_bytes: f64) -> Option<(f64, f64)> {
+        *self.shared.slots[self.rank].lock() = (clock_s, payload_bytes);
+        self.barrier();
+        let mut maxc = f64::NEG_INFINITY;
+        let mut maxb = 0.0f64;
+        for s in &self.shared.slots {
+            let (c, b) = *s.lock();
+            maxc = maxc.max(c);
+            maxb = maxb.max(b);
+        }
+        // Second barrier: nobody may overwrite a slot (next exchange) until
+        // every rank has read all of them.
+        self.barrier();
+        Some((maxc, maxb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_matches_tag_and_source() {
+        let shared = InProcShared::new(3);
+        let mut e0 = shared.endpoint(0);
+        let mut e1 = shared.endpoint(1);
+        let mut e2 = shared.endpoint(2);
+        e1.send(0, 7, &[1.0]);
+        e2.send(0, 7, &[2.0]);
+        // Same tag, different sources: recv must disambiguate by rank.
+        assert_eq!(e0.recv(2, 7), vec![2.0]);
+        assert_eq!(e0.recv(1, 7), vec![1.0]);
+    }
+
+    #[test]
+    fn clock_exchange_returns_max() {
+        let shared = InProcShared::new(2);
+        let mut a = shared.endpoint(0);
+        let mut b = shared.endpoint(1);
+        std::thread::scope(|s| {
+            let ja = s.spawn(move || a.clock_exchange(1.0, 8.0).unwrap());
+            let jb = s.spawn(move || b.clock_exchange(3.0, 4.0).unwrap());
+            assert_eq!(ja.join().unwrap(), (3.0, 8.0));
+            assert_eq!(jb.join().unwrap(), (3.0, 8.0));
+        });
+    }
+}

@@ -1,0 +1,87 @@
+//! Pluggable point-to-point data planes behind the collectives.
+//!
+//! [`Transport`] is the narrow waist between the collective *algorithms*
+//! (ring, recursive doubling, binomial tree — `collective.rs`) and the
+//! mechanism that moves bytes between ranks:
+//!
+//! * [`InProc`] — the original shared-memory mailboxes: every rank is a
+//!   thread of one process, a send is a memcpy, and wall time is *modeled*
+//!   with the Hockney α–β cost overlay.
+//! * [`Tcp`] — one OS process (or thread) per rank over persistent
+//!   loopback/LAN `TcpStream`s with length-prefixed little-endian framing
+//!   ([`wire`]); bytes on the wire and elapsed time are *measured*.
+//!
+//! Rendezvous for the TCP backend is torchrun-style: rank 0 listens on
+//! `A2SGD_MASTER_ADDR`, every rank registers its data-plane address, and
+//! the full peer table is broadcast back before the mesh of per-peer
+//! connections is established (see [`TcpConfig`]).
+
+pub mod inproc;
+pub mod launch;
+pub mod tcp;
+pub mod wire;
+
+pub use inproc::{InProc, InProcShared};
+pub use launch::{run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank};
+pub use tcp::{Tcp, TcpConfig};
+
+/// A point-to-point data plane the collectives run over.
+///
+/// The contract mirrors a minimal MPI: tagged blocking send/recv of `f32`
+/// frames between ranks plus a full barrier. Implementations must deliver
+/// frames between a given (sender, receiver) pair in send order; the
+/// collectives only ever post receives whose source rank is determined by
+/// the algorithm, so no wildcard receive exists.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn world(&self) -> usize;
+
+    /// Human-readable backend name (for labels and error messages).
+    fn backend_name(&self) -> &'static str;
+
+    /// Sends a tagged frame to `to`. Returns the number of bytes actually
+    /// put on the wire — payload plus framing overhead for real networks,
+    /// bare payload for the in-process memcpy.
+    fn send(&mut self, to: usize, tag: u64, payload: &[f32]) -> u64;
+
+    /// Blocking receive of the frame carrying `tag` from rank `from`.
+    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32>;
+
+    /// Blocks until every rank has entered the barrier. Returns the
+    /// `(frames, wire_bytes)` this rank's barrier traffic put on the wire
+    /// — `(0, 0)` for shared-memory rendezvous, the empty control frames
+    /// for real networks — so callers can keep traffic accounting honest.
+    fn barrier(&mut self) -> (u64, u64);
+
+    /// Simulated-clock rendezvous for modeled-time backends: every rank
+    /// deposits its `(clock, payload_bytes)` pair and receives the
+    /// element-wise maximum across ranks. Returns `None` for real
+    /// transports, which have no shared simulated clock — callers measure
+    /// wall time instead.
+    fn clock_exchange(&mut self, clock_s: f64, payload_bytes: f64) -> Option<(f64, f64)>;
+}
+
+/// Which data plane a run uses (trainer/bench-level selection knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommBackend {
+    /// Thread ranks + shared-memory mailboxes + modeled Hockney time.
+    #[default]
+    InProc,
+    /// One process per rank over TCP; measured bytes and wall time. The
+    /// process must carry the `A2SGD_RANK`/`A2SGD_WORLD`/`A2SGD_MASTER_ADDR`
+    /// rendezvous environment (see [`TcpConfig::from_env`]).
+    Tcp,
+}
+
+impl CommBackend {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommBackend::InProc => "inproc",
+            CommBackend::Tcp => "tcp",
+        }
+    }
+}

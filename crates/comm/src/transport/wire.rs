@@ -1,0 +1,148 @@
+//! Length-prefixed little-endian framing for `f32` payloads.
+//!
+//! Every frame is `[magic u32][len u32][tag u64][payload len×4 bytes]`,
+//! all little-endian, where `len` counts `f32` elements and the payload
+//! carries their raw IEEE-754 bit patterns (so NaN payloads round-trip
+//! bit-exactly). The 16-byte header is the entire framing overhead the
+//! TCP transport adds on top of the application payload — what
+//! [`TrafficStats::wire_bytes`](crate::TrafficStats) measures.
+
+use std::io::{self, Read, Write};
+
+/// Frame preamble: "A2SD" + format version 1. A mismatch means the stream
+/// desynchronized (or the peer speaks a different protocol revision).
+pub const FRAME_MAGIC: u32 = 0xA25D_0001;
+
+/// Fixed per-frame framing overhead in bytes (magic + len + tag).
+pub const FRAME_HEADER_BYTES: u64 = 16;
+
+/// Upper bound on payload elements per frame (1 GiB of f32s) — far above
+/// any real gradient, low enough that a garbage length from a
+/// desynchronized stream errors out instead of attempting a huge
+/// allocation.
+pub const MAX_FRAME_ELEMS: usize = 1 << 28;
+
+/// Total bytes a frame with `len` payload elements occupies on the wire.
+pub fn frame_wire_bytes(len: usize) -> u64 {
+    FRAME_HEADER_BYTES + 4 * len as u64
+}
+
+/// Encodes one frame into a fresh buffer.
+pub fn encode_frame(tag: u64, payload: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(frame_wire_bytes(payload.len()) as usize);
+    buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    for v in payload {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    buf
+}
+
+/// Writes one frame to `w`, returning the bytes put on the wire. Streams
+/// the payload through a fixed stack buffer — no full-frame allocation,
+/// which matters when benchmarking multi-megabyte gradient frames.
+pub fn write_frame<W: Write>(w: &mut W, tag: u64, payload: &[f32]) -> io::Result<u64> {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[8..16].copy_from_slice(&tag.to_le_bytes());
+    w.write_all(&header)?;
+    let mut buf = [0u8; 4096];
+    for chunk in payload.chunks(buf.len() / 4) {
+        for (slot, v) in buf.chunks_exact_mut(4).zip(chunk) {
+            slot.copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+        w.write_all(&buf[..4 * chunk.len()])?;
+    }
+    Ok(frame_wire_bytes(payload.len()))
+}
+
+/// Reads one complete frame from `r` (blocking until the whole payload
+/// arrived). Returns the tag and the decoded payload.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u64, Vec<f32>)> {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame magic {magic:#010x} (stream desynchronized?)"),
+        ));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let tag = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if len > MAX_FRAME_ELEMS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_ELEMS} (stream desynchronized?)"),
+        ));
+    }
+    let mut raw = vec![0u8; 4 * len];
+    r.read_exact(&mut raw)?;
+    let payload = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    Ok((tag, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let payload = [1.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e-45];
+        let buf = encode_frame(0xDEAD_BEEF_0042, &payload);
+        assert_eq!(buf.len() as u64, frame_wire_bytes(payload.len()));
+        let (tag, got) = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(tag, 0xDEAD_BEEF_0042);
+        let want: Vec<u32> = payload.iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn write_frame_matches_encode_frame() {
+        // The streaming writer and the allocating encoder must agree
+        // byte-for-byte, including across the 4 KiB chunk boundary.
+        let payload: Vec<f32> = (0..5000).map(|i| f32::from_bits(i as u32 * 0x9E37)).collect();
+        for len in [0usize, 1, 1023, 1024, 1025, 5000] {
+            let mut streamed = Vec::new();
+            let n = write_frame(&mut streamed, 0xABCD, &payload[..len]).unwrap();
+            assert_eq!(streamed, encode_frame(0xABCD, &payload[..len]));
+            assert_eq!(n, streamed.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_frame_is_header_only() {
+        let buf = encode_frame(7, &[]);
+        assert_eq!(buf.len() as u64, FRAME_HEADER_BYTES);
+        let (tag, got) = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(tag, 7);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = encode_frame(1, &[1.0, 2.0]);
+        buf[0] ^= 0xFF;
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let buf = encode_frame(1, &[1.0, 2.0, 3.0]);
+        assert!(read_frame(&mut &buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocating() {
+        let mut buf = encode_frame(1, &[]);
+        buf[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let e = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(e.to_string().contains("exceeds"), "{e}");
+    }
+}

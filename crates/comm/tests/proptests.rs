@@ -1,6 +1,8 @@
 //! Property tests: every collective equals its sequential reference for
-//! arbitrary world sizes and payload lengths.
+//! arbitrary world sizes and payload lengths, and the TCP wire codec
+//! round-trips arbitrary bit patterns.
 
+use cluster_comm::transport::wire::{encode_frame, frame_wire_bytes, read_frame};
 use cluster_comm::{run_cluster, CollectiveAlgo, NetworkProfile};
 use proptest::prelude::*;
 
@@ -68,4 +70,60 @@ proptest! {
             prop_assert_eq!(&got, &expect);
         }
     }
+
+    #[test]
+    fn wire_frame_roundtrips_arbitrary_bit_patterns(
+        raw in prop::collection::vec(any::<u32>(), 0..300),
+        tag in any::<u64>(),
+    ) {
+        // Payloads are raw IEEE-754 bit patterns, so this sweeps NaNs
+        // (quiet and signaling), ±inf, subnormals and -0.0 alongside
+        // ordinary values — the codec must be bit-transparent to all.
+        let payload: Vec<f32> = raw.iter().map(|&b| f32::from_bits(b)).collect();
+        let buf = encode_frame(tag, &payload);
+        prop_assert_eq!(buf.len() as u64, frame_wire_bytes(payload.len()));
+        let (got_tag, got) = read_frame(&mut &buf[..]).unwrap();
+        prop_assert_eq!(got_tag, tag);
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got_bits, raw);
+    }
+
+    #[test]
+    fn wire_frames_concatenate_cleanly(
+        a in prop::collection::vec(any::<u32>(), 0..60),
+        b in prop::collection::vec(any::<u32>(), 0..60),
+    ) {
+        // A stream is just back-to-back frames: decoding must consume
+        // exactly one frame and leave the next intact.
+        let pa: Vec<f32> = a.iter().map(|&x| f32::from_bits(x)).collect();
+        let pb: Vec<f32> = b.iter().map(|&x| f32::from_bits(x)).collect();
+        let mut stream = encode_frame(1, &pa);
+        stream.extend_from_slice(&encode_frame(2, &pb));
+        let mut cursor = &stream[..];
+        let (t1, d1) = read_frame(&mut cursor).unwrap();
+        let (t2, d2) = read_frame(&mut cursor).unwrap();
+        prop_assert!(cursor.is_empty());
+        prop_assert_eq!(t1, 1);
+        prop_assert_eq!(t2, 2);
+        let d1b: Vec<u32> = d1.iter().map(|v| v.to_bits()).collect();
+        let d2b: Vec<u32> = d2.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(d1b, a);
+        prop_assert_eq!(d2b, b);
+    }
+}
+
+#[test]
+fn wire_frame_roundtrips_specials_and_large_payloads() {
+    // Deterministic companions to the property: the named special values
+    // and a frame well past 64 KiB.
+    let mut payload =
+        vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, f32::MIN_POSITIVE, 1e-45];
+    payload.extend((0..30_000).map(|i| (i as f32).sin())); // 120 KB payload
+    let buf = encode_frame(u64::MAX, &payload);
+    assert_eq!(buf.len() as u64, frame_wire_bytes(payload.len()));
+    let (tag, got) = read_frame(&mut &buf[..]).unwrap();
+    assert_eq!(tag, u64::MAX);
+    let want: Vec<u32> = payload.iter().map(|v| v.to_bits()).collect();
+    let got: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want);
 }

@@ -2,7 +2,7 @@
 
 use crate::registry::AlgoKind;
 use crate::trainer::{OptKind, TrainConfig};
-use cluster_comm::NetworkProfile;
+use cluster_comm::{CommBackend, NetworkProfile};
 use mini_nn::models::{ModelKind, Preset};
 use mini_nn::schedule::LrSchedule;
 
@@ -139,6 +139,7 @@ pub fn scaled_convergence_config(
         // LARS on the tiny VGG is unnecessary; keep it for fidelity.
         opt: paper_optimizer(model),
         seed,
+        backend: CommBackend::InProc,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],
     }

@@ -34,6 +34,7 @@ pub mod trainer;
 pub mod variants;
 
 pub use algorithm::A2sgd;
+pub use cluster_comm::CommBackend;
 pub use mean2::{enc_into, restore_with_global_means, split_means, TwoMeans};
 pub use registry::AlgoKind;
 pub use trainer::{OptKind, TrainConfig, TrainReport};

@@ -11,7 +11,7 @@
 
 use crate::metrics;
 use crate::registry::AlgoKind;
-use cluster_comm::{run_cluster, NetworkProfile};
+use cluster_comm::{run_cluster, CommBackend, CommHandle, NetworkProfile};
 use mini_nn::flat::{flatten_grads, flatten_params, load_params, param_count, scatter_grads};
 use mini_nn::loss::softmax_cross_entropy;
 use mini_nn::models::{LstmLm, LstmLmConfig, ModelKind, Preset};
@@ -96,7 +96,13 @@ pub struct TrainConfig {
     pub opt: OptKind,
     /// Master seed (model init, data synthesis, stochastic compressors).
     pub seed: u64,
-    /// Modeled network.
+    /// Communication data plane. [`CommBackend::InProc`] (the default)
+    /// spawns thread ranks in this process with modeled time;
+    /// [`CommBackend::Tcp`] makes *this process* one rank of a TCP
+    /// cluster, joining the `A2SGD_RANK`/`A2SGD_WORLD`/`A2SGD_MASTER_ADDR`
+    /// rendezvous with measured traffic and wall time.
+    pub backend: CommBackend,
+    /// Modeled network (in-proc backend only; TCP measures instead).
     pub profile: NetworkProfile,
     /// Iterations at which worker 0 records a gradient histogram
     /// (Figure 1); empty to disable.
@@ -155,14 +161,12 @@ struct WorkerOut {
     histograms: Vec<(usize, Histogram)>,
 }
 
-/// Runs the experiment, returning worker 0's report.
-pub fn train(cfg: &TrainConfig) -> TrainReport {
-    assert!(cfg.workers >= 1 && cfg.epochs >= 1 && cfg.batch_per_worker >= 1);
-    let cfg = cfg.clone();
-
-    // One shared dataset per run: the first `train_size` indices are the
-    // training split, the next `eval_size` the held-out split. Both share
-    // the class templates (different noise/jitter per index).
+/// Builds the run's datasets: the first `train_size` indices are the
+/// training split, the next `eval_size` the held-out split. Both share the
+/// class templates (different noise/jitter per index). Construction is a
+/// pure function of the config, which is what lets every TCP rank process
+/// rebuild identical data without any exchange.
+fn build_datasets(cfg: &TrainConfig) -> (Option<Arc<SyntheticImages>>, Option<Arc<MarkovText>>) {
     let vision: Option<Arc<SyntheticImages>> = (!cfg.model.is_language_model()).then(|| {
         let spec = match cfg.model {
             ModelKind::Fnn3 => VisionSpec::mnist_like(),
@@ -176,15 +180,11 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         let tokens = (cfg.train_size + cfg.eval_size + 1) * seq + 1;
         Arc::new(MarkovText::new(lmc.vocab, 4, tokens, seq, cfg.seed ^ 0x1A7A))
     });
+    (vision, lm)
+}
 
-    let cfgr = &cfg;
-    let outs = run_cluster(cfg.workers, cfg.profile, move |comm| {
-        run_worker(cfgr, comm, vision.as_deref(), lm.as_deref())
-    });
-
-    let w0 = &outs[0];
+fn build_report(cfg: &TrainConfig, w0: &WorkerOut, divergence: f64) -> TrainReport {
     let total_samples = w0.iters * cfg.batch_per_worker * cfg.workers;
-    let divergence = outs.iter().map(|o| o.divergence).fold(0.0f64, f64::max);
     TrainReport {
         label: format!("{}/{}/P{}", cfg.model.name(), cfg.algo.name(), cfg.workers),
         epochs: w0.epochs.clone(),
@@ -201,6 +201,42 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         throughput: metrics::throughput(total_samples, w0.sim_seconds),
         replica_divergence: divergence,
         grad_histograms: w0.histograms.clone(),
+    }
+}
+
+/// Runs the experiment.
+///
+/// On the in-proc backend this spawns `cfg.workers` thread ranks and
+/// returns worker 0's report (divergence maxed across ranks). On the TCP
+/// backend the calling process is one rank of an externally-launched
+/// cluster (see `cluster_comm::run_multiprocess`): the report describes
+/// *this* rank — evaluation metrics are only populated on rank 0, and
+/// `replica_divergence` is rank-local.
+pub fn train(cfg: &TrainConfig) -> TrainReport {
+    assert!(cfg.workers >= 1 && cfg.epochs >= 1 && cfg.batch_per_worker >= 1);
+    let cfg = cfg.clone();
+    let (vision, lm) = build_datasets(&cfg);
+
+    match cfg.backend {
+        CommBackend::InProc => {
+            let cfgr = &cfg;
+            let outs = run_cluster(cfg.workers, cfg.profile, move |comm| {
+                run_worker(cfgr, comm, vision.as_deref(), lm.as_deref())
+            });
+            let divergence = outs.iter().map(|o| o.divergence).fold(0.0f64, f64::max);
+            build_report(&cfg, &outs[0], divergence)
+        }
+        CommBackend::Tcp => {
+            let mut comm = CommHandle::tcp_from_env()
+                .unwrap_or_else(|e| panic!("TCP backend needs the rendezvous env: {e}"));
+            assert_eq!(
+                comm.world(),
+                cfg.workers,
+                "A2SGD_WORLD disagrees with TrainConfig::workers"
+            );
+            let out = run_worker(&cfg, &mut comm, vision.as_deref(), lm.as_deref());
+            build_report(&cfg, &out, out.divergence)
+        }
     }
 }
 
@@ -407,6 +443,7 @@ mod tests {
             lr: LrSchedule::constant(0.01),
             opt: OptKind::Sgd { momentum: 0.9, weight_decay: 0.0 },
             seed: 42,
+            backend: CommBackend::InProc,
             profile: NetworkProfile::infiniband_100g(),
             grad_hist_iters: vec![0, 5],
         }

@@ -1,8 +1,14 @@
-//! Distributed-semantics invariants across the whole stack.
+//! Distributed-semantics invariants across the whole stack, including
+//! cross-backend consistency: the multi-process TCP data plane must be
+//! bit-identical to the in-process mailboxes.
 
 use a2sgd::experiments::scaled_convergence_config;
 use a2sgd::registry::AlgoKind;
 use a2sgd::trainer::train;
+use a2sgd_repro::cluster_comm::{
+    run_cluster, run_cluster_tcp, run_multiprocess, CollectiveAlgo, CommBackend, CommHandle,
+    NetworkProfile,
+};
 use mini_nn::models::ModelKind;
 
 fn cfg(algo: AlgoKind, workers: usize, seed: u64) -> a2sgd::trainer::TrainConfig {
@@ -47,6 +53,86 @@ fn runs_are_bit_deterministic() {
     let la: Vec<f64> = a.epochs.iter().map(|e| e.train_loss).collect();
     let lb: Vec<f64> = b.epochs.iter().map(|e| e.train_loss).collect();
     assert_eq!(la, lb);
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Same per-rank inputs on every backend; concatenates one of each
+/// collective's results.
+fn collective_workload(h: &mut CommHandle) -> Vec<f32> {
+    let input = |rank: usize, n: usize| -> Vec<f32> {
+        use a2sgd_repro::mini_tensor::rng::SeedRng;
+        let mut rng = SeedRng::new(0xC0DE ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+        (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect()
+    };
+    let mut out = Vec::new();
+    for algo in [CollectiveAlgo::Ring, CollectiveAlgo::RecursiveDoubling, CollectiveAlgo::Auto] {
+        let mut d = input(h.rank(), 41);
+        h.allreduce_sum_with(&mut d, algo, None);
+        out.extend_from_slice(&d);
+    }
+    let mut b = if h.rank() == 0 { input(17, 9) } else { vec![0.0f32; 9] };
+    h.broadcast(0, &mut b);
+    out.extend_from_slice(&b);
+    for part in h.allgather(&input(h.rank(), 5), None) {
+        out.extend_from_slice(&part);
+    }
+    h.barrier();
+    out
+}
+
+/// The acceptance gate for the transport subsystem: `run_cluster_tcp`
+/// (4 real OS processes exchanging frames over loopback sockets) and
+/// `run_cluster` (thread ranks over mailboxes) must produce *bit-identical*
+/// collective results for the same inputs.
+///
+/// NOTE: this test re-executes the current test binary to create its rank
+/// processes (the launcher's fork pattern); the `--exact` filter below
+/// makes each child run only this test, and children exit inside
+/// `run_cluster_tcp` after reporting their rank's result.
+#[test]
+fn tcp_multiprocess_collectives_match_inproc() {
+    let world = 4;
+    // Must come first: in a child process this call never returns.
+    let tcp = run_cluster_tcp(
+        world,
+        &["tcp_multiprocess_collectives_match_inproc", "--exact"],
+        collective_workload,
+    );
+    let inproc = run_cluster(world, NetworkProfile::infiniband_100g(), collective_workload);
+    for rank in 0..world {
+        assert_eq!(
+            bits(&tcp[rank]),
+            bits(&inproc[rank]),
+            "rank {rank}: TCP and in-proc collectives diverged"
+        );
+    }
+}
+
+/// Full-stack version of the same invariant: an entire A2SGD training run
+/// on the TCP backend (2 rank processes) must reproduce the in-proc loss
+/// curve bit-for-bit — data synthesis, sharding, compression and the
+/// collectives all line up across real sockets.
+#[test]
+fn tcp_multiprocess_training_matches_inproc() {
+    let base = cfg(AlgoKind::A2sgd, 2, 6);
+    let child_cfg = base.clone();
+    let tcp =
+        run_multiprocess(2, &["tcp_multiprocess_training_matches_inproc", "--exact"], move |_| {
+            let mut c = child_cfg;
+            c.backend = CommBackend::Tcp;
+            let rep = train(&c);
+            let mut out: Vec<f32> = rep.epochs.iter().map(|e| e.train_loss as f32).collect();
+            out.push(rep.wire_bits_per_iter as f32);
+            out
+        });
+    let rep = train(&base); // in-proc reference, rank 0's losses
+    let mut expect: Vec<f32> = rep.epochs.iter().map(|e| e.train_loss as f32).collect();
+    expect.push(rep.wire_bits_per_iter as f32);
+    assert_eq!(bits(&tcp[0]), bits(&expect), "TCP training diverged from in-proc");
+    assert_eq!(tcp[0].last().copied(), Some(64.0), "A2SGD wire bits over TCP");
 }
 
 #[test]
