@@ -13,7 +13,7 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
                     let mut d = vec![1.0f32; n];
-                    h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring, None);
+                    h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring);
                     d[0]
                 })
             })
@@ -22,7 +22,7 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
                     let mut d = vec![1.0f32; n];
-                    h.allreduce_sum_with(&mut d, CollectiveAlgo::RecursiveDoubling, None);
+                    h.allreduce_sum_with(&mut d, CollectiveAlgo::RecursiveDoubling);
                     d[0]
                 })
             })
@@ -31,7 +31,7 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
                     let d = vec![1.0f32; n / world];
-                    h.allgather(&d, None).len()
+                    h.allgather(&d).len()
                 })
             })
         });

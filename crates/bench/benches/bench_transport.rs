@@ -1,51 +1,59 @@
 //! In-proc vs TCP-loopback transport comparison: what does the same
-//! allreduce cost on a memcpy mailbox vs a real socket, for a dense
-//! gradient vs the 64-bit A2SGD packet?
+//! exchange cost on a memcpy mailbox vs a real socket, for a dense f32
+//! gradient (ring allreduce) vs A2SGD's packed-u64 64-bit packet
+//! (byte-frame allgather)?
 //!
 //! Each iteration stands up a 4-rank cluster (threads; the TCP variant
-//! includes the loopback rendezvous) and runs a burst of allreduces, so
-//! the numbers compare whole data planes, not just steady-state copies.
+//! includes the loopback rendezvous) and runs a burst of exchanges, so the
+//! numbers compare whole data planes, not just steady-state copies.
 
-use cluster_comm::{run_cluster, run_cluster_tcp_threads, CollectiveAlgo, NetworkProfile};
+use cluster_comm::{
+    run_cluster, run_cluster_tcp_threads, CollectiveAlgo, CommHandle, NetworkProfile, Payload,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const WORLD: usize = 4;
 const ROUNDS: usize = 16;
 
-fn bench_transport(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transport_allreduce");
-    group.sample_size(10);
-    // (label, payload length, algorithm): the A2SGD packet takes the
-    // latency-bound recursive-doubling path, the dense gradient the
-    // bandwidth-bound ring — same split both backends.
-    let cases = [
-        ("a2sgd_packet_64bit", 2usize, CollectiveAlgo::RecursiveDoubling),
-        ("dense_grad_64KiB", 16_384usize, CollectiveAlgo::Ring),
-    ];
-    for (label, n, algo) in cases {
-        group.bench_with_input(BenchmarkId::new("inproc", label), &n, |b, &n| {
-            b.iter(|| {
-                run_cluster(WORLD, NetworkProfile::infiniband_100g(), move |h| {
-                    let mut d = vec![1.0f32; n];
-                    for _ in 0..ROUNDS {
-                        h.allreduce_sum_with(&mut d, algo, None);
-                    }
-                    d[0]
-                })
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("tcp_loopback", label), &n, |b, &n| {
-            b.iter(|| {
-                run_cluster_tcp_threads(WORLD, move |h| {
-                    let mut d = vec![1.0f32; n];
-                    for _ in 0..ROUNDS {
-                        h.allreduce_sum_with(&mut d, algo, None);
-                    }
-                    d[0]
-                })
-            })
-        });
+/// Dense path: the bandwidth-bound f32 ring allreduce.
+fn dense_rounds(h: &mut CommHandle, n: usize) -> f32 {
+    let mut d = vec![1.0f32; n];
+    for _ in 0..ROUNDS {
+        h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring);
     }
+    d[0]
+}
+
+/// Packed path: the latency-bound 64-bit packet as an opaque byte frame.
+fn packed_rounds(h: &mut CommHandle) -> u64 {
+    let mut acc = 0u64;
+    for round in 0..ROUNDS {
+        let word = (h.rank() as u64) << 32 | round as u64;
+        for frame in h.allgather_bytes(Payload::PackedU64(vec![word])) {
+            acc = acc.wrapping_add(frame.expect_u64()[0]);
+        }
+    }
+    acc
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_exchange");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("inproc", "a2sgd_packet_u64"), &(), |b, _| {
+        b.iter(|| run_cluster(WORLD, NetworkProfile::infiniband_100g(), packed_rounds))
+    });
+    group.bench_with_input(BenchmarkId::new("tcp_loopback", "a2sgd_packet_u64"), &(), |b, _| {
+        b.iter(|| run_cluster_tcp_threads(WORLD, packed_rounds))
+    });
+    let n = 16_384usize; // 64 KiB dense gradient
+    group.bench_with_input(BenchmarkId::new("inproc", "dense_grad_64KiB"), &n, |b, &n| {
+        b.iter(|| {
+            run_cluster(WORLD, NetworkProfile::infiniband_100g(), move |h| dense_rounds(h, n))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tcp_loopback", "dense_grad_64KiB"), &n, |b, &n| {
+        b.iter(|| run_cluster_tcp_threads(WORLD, move |h| dense_rounds(h, n)))
+    });
     group.finish();
 }
 

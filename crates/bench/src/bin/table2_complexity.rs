@@ -40,9 +40,11 @@ fn main() {
     let n = 66_034_000usize;
     for algo in algos {
         let s = algo.build(n, 0, 0);
+        // As-measured encodings: sparse frames carry index+value records
+        // (64 bits per kept coordinate), not the paper's value-only 32k.
         let formula = match algo {
             AlgoKind::Dense => "32n".to_string(),
-            AlgoKind::TopK(_) | AlgoKind::GaussianK(_) => "32k".to_string(),
+            AlgoKind::TopK(_) | AlgoKind::GaussianK(_) => "64k".to_string(),
             AlgoKind::Qsgd(_) => "2.8n + 32".to_string(),
             AlgoKind::A2sgd => "64".to_string(),
             _ => "-".to_string(),

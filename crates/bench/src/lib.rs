@@ -75,23 +75,26 @@ pub fn compression_compute_seconds(algo: AlgoKind, g: &mut [f32], reps: usize) -
 
 /// Modeled communication seconds per iteration for `algo` on a model of
 /// `n` parameters across `p` workers (the T_comm term of Figures 4/5).
+/// Payload sizes mirror the typed wire encodings the transport actually
+/// moves (`wire_bits_formula / 8` bytes per worker contribution).
 pub fn comm_seconds(algo: AlgoKind, n: usize, p: usize, m: &cluster_comm::CostModel) -> f64 {
     match algo {
         AlgoKind::Dense => m.allreduce(4.0 * n as f64, p),
-        // Sparse methods allgather k values; the paper counts 32k bits.
+        // Sparse methods allgather k (u32 idx, f32 val) records: 8k bytes.
         AlgoKind::TopK(r) | AlgoKind::GaussianK(r) | AlgoKind::RandK(r) => {
             let k = (n as f64 * r as f64).max(1.0);
-            m.ring_allgather(4.0 * k, p)
+            m.ring_allgather(8.0 * k, p)
         }
         AlgoKind::Qsgd(_) => {
             let bits = 2.8 * n as f64 + 32.0;
             m.ring_allgather(bits / 8.0, p)
         }
-        AlgoKind::A2sgd | AlgoKind::A2sgdCarry => m.recursive_doubling_allreduce(8.0, p),
-        AlgoKind::A2sgdAllgather => m.ring_allgather(8.0, p),
+        // The packed-u64 two-means packet is gathered (§4.4 formulation).
+        AlgoKind::A2sgd | AlgoKind::A2sgdAllgather => m.ring_allgather(8.0, p),
+        AlgoKind::A2sgdCarry => m.recursive_doubling_allreduce(8.0, p),
         AlgoKind::KLevel(l) => m.recursive_doubling_allreduce(8.0 * l as f64, p),
-        AlgoKind::TernGrad => m.ring_allgather(1.585 * n as f64 / 8.0, p),
-        AlgoKind::SignSgd => m.allreduce(n as f64 / 8.0, p),
+        AlgoKind::TernGrad => m.ring_allgather(4.0 + 2.0 * n as f64 / 8.0, p),
+        AlgoKind::SignSgd => m.ring_allgather(4.0 + n as f64 / 8.0, p),
     }
 }
 

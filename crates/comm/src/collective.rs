@@ -7,13 +7,91 @@
 //! TCP sockets. Every rank must call the same sequence of collective
 //! operations — the usual SPMD contract.
 //!
+//! Collectives are typed two ways:
+//!
+//! * **Element collectives** are generic over [`WireElem`] (the types a
+//!   [`Payload`] can carry: `f32`, `u64`, `u8`); allreduce additionally
+//!   requires [`Reducible`] so partial results can be combined in flight —
+//!   in practice the dense `f32`-sum path.
+//! * **Byte collectives** ([`CommHandle::allgather_bytes`],
+//!   [`CommHandle::exchange_bytes`]) carry opaque encoded [`Payload`]
+//!   frames — compressed gradients cross the wire at their encoded size,
+//!   and the traffic accounting below needs no out-of-band overrides.
+//!
 //! Time is backend-dependent: modeled-clock transports (in-proc) overlay
 //! the Hockney α–β [`CostModel`]; real transports (TCP) accumulate
 //! measured wall time on [`CommHandle::clock`].
 
 use crate::cost::CostModel;
+use crate::transport::wire::{Payload, PayloadRef};
 use crate::transport::Transport;
 use std::time::Instant;
+
+/// A scalar type a [`Payload`] frame can carry.
+pub trait WireElem: Copy + Send + Sized + 'static {
+    /// Bytes per element on the wire.
+    const BYTES: usize;
+
+    /// Views a slice as its typed wire payload (no copy — sends stream
+    /// straight from the borrowed slice).
+    fn payload_ref(items: &[Self]) -> PayloadRef<'_>;
+
+    /// Decodes a typed payload (panics on a kind mismatch — an SPMD bug).
+    fn from_payload(payload: Payload) -> Vec<Self>;
+
+    /// Encodes a slice into an owned typed payload.
+    fn to_payload(items: &[Self]) -> Payload {
+        Self::payload_ref(items).to_owned()
+    }
+}
+
+/// A wire element with an in-flight combine — what allreduce requires.
+pub trait Reducible: WireElem {
+    /// Folds `other` into `acc` (the allreduce combine, e.g. f32 sum).
+    fn reduce(acc: &mut Self, other: Self);
+}
+
+impl WireElem for f32 {
+    const BYTES: usize = 4;
+
+    fn payload_ref(items: &[Self]) -> PayloadRef<'_> {
+        PayloadRef::F32Dense(items)
+    }
+
+    fn from_payload(payload: Payload) -> Vec<Self> {
+        payload.expect_f32()
+    }
+}
+
+impl Reducible for f32 {
+    fn reduce(acc: &mut Self, other: Self) {
+        *acc += other;
+    }
+}
+
+impl WireElem for u64 {
+    const BYTES: usize = 8;
+
+    fn payload_ref(items: &[Self]) -> PayloadRef<'_> {
+        PayloadRef::PackedU64(items)
+    }
+
+    fn from_payload(payload: Payload) -> Vec<Self> {
+        payload.expect_u64()
+    }
+}
+
+impl WireElem for u8 {
+    const BYTES: usize = 1;
+
+    fn payload_ref(items: &[Self]) -> PayloadRef<'_> {
+        PayloadRef::Bytes(items)
+    }
+
+    fn from_payload(payload: Payload) -> Vec<Self> {
+        payload.expect_bytes()
+    }
+}
 
 /// Which allreduce algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +115,8 @@ pub enum CollectiveAlgo {
 /// Per-rank traffic accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
-    /// Application payload bytes this rank handed to the transport
-    /// (4 bytes per `f32` across all algorithm steps, excluding framing).
+    /// Application payload bytes this rank handed to the transport across
+    /// all algorithm steps (typed payload bytes, excluding framing).
     pub bytes_sent: u64,
     /// Frames (point-to-point messages) sent.
     pub messages: u64,
@@ -49,12 +127,13 @@ pub struct TrafficStats {
     pub wire_bytes: u64,
     /// Logical application-level bits per collective *payload* — what the
     /// paper's Table 2 counts. Incremented exactly once per collective
-    /// call by the payload's logical encoding size (callers override it
-    /// for compressed payloads whose encoding is smaller than the `f32`
-    /// buffer physically moved, e.g. A2SGD's 64-bit two-means packet).
-    /// Deliberately independent of the algorithm's step count, physical
-    /// copies, and framing — compare against `bytes_sent`/`wire_bytes` to
-    /// separate the paper's complexity claim from transport reality.
+    /// call by the byte size of this rank's own typed payload (×8). Since
+    /// every encoding now crosses the wire at its encoded size, this is
+    /// *derived from* the bytes that actually move — no overrides exist.
+    /// It stays deliberately independent of the algorithm's step count,
+    /// forwarding copies, and framing — compare against
+    /// `bytes_sent`/`wire_bytes` to separate the paper's complexity claim
+    /// from transport amplification.
     pub logical_wire_bits: u64,
 }
 
@@ -130,14 +209,22 @@ impl CommHandle {
 
     // -- internals ---------------------------------------------------------
 
-    fn send(&mut self, to: usize, tag: u64, data: &[f32]) {
-        self.stats.bytes_sent += 4 * data.len() as u64;
-        self.stats.wire_bytes += self.transport.send(to, tag, data);
+    fn send_payload(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) {
+        self.stats.bytes_sent += payload.byte_len() as u64;
+        self.stats.wire_bytes += self.transport.send_bytes(to, tag, payload);
         self.stats.messages += 1;
     }
 
-    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32> {
-        self.transport.recv(from, tag)
+    fn recv_payload(&mut self, from: usize, tag: u64) -> Payload {
+        self.transport.recv_bytes(from, tag)
+    }
+
+    fn send_elems<T: WireElem>(&mut self, to: usize, tag: u64, data: &[T]) {
+        self.send_payload(to, tag, T::payload_ref(data));
+    }
+
+    fn recv_elems<T: WireElem>(&mut self, from: usize, tag: u64) -> Vec<T> {
+        T::from_payload(self.recv_payload(from, tag))
     }
 
     fn next_tag(&mut self) -> u64 {
@@ -188,18 +275,12 @@ impl CommHandle {
         self.finish_op(t0, 0.0, |m, _, p| m.barrier(p));
     }
 
-    /// In-place allreduce-sum with algorithm selection and an optional
-    /// override of the *logical* wire bytes (for compressed payloads whose
-    /// logical encoding is smaller than the f32 buffer we physically move).
-    pub fn allreduce_sum_with(
-        &mut self,
-        data: &mut [f32],
-        algo: CollectiveAlgo,
-        wire_bytes: Option<f64>,
-    ) {
-        let physical = 4.0 * data.len() as f64;
-        let modeled = wire_bytes.unwrap_or(physical);
-        self.stats.logical_wire_bits += (modeled * 8.0) as u64;
+    /// In-place allreduce over any [`Reducible`] element with algorithm
+    /// selection. The logical wire size is the typed payload itself —
+    /// `8 · BYTES · len` bits, counted once per collective.
+    pub fn allreduce_with<T: Reducible>(&mut self, data: &mut [T], algo: CollectiveAlgo) {
+        let payload_bytes = (T::BYTES * data.len()) as f64;
+        self.stats.logical_wire_bits += 8 * (T::BYTES * data.len()) as u64;
         let t0 = Instant::now();
         if self.world() > 1 {
             match algo {
@@ -207,8 +288,8 @@ impl CommHandle {
                 CollectiveAlgo::RecursiveDoubling => self.rd_allreduce(data),
                 CollectiveAlgo::Auto => {
                     let m = self.selection_model();
-                    if m.ring_allreduce(modeled, self.world())
-                        <= m.recursive_doubling_allreduce(modeled, self.world())
+                    if m.ring_allreduce(payload_bytes, self.world())
+                        <= m.recursive_doubling_allreduce(payload_bytes, self.world())
                     {
                         self.ring_allreduce(data)
                     } else {
@@ -217,16 +298,21 @@ impl CommHandle {
                 }
             }
         }
-        self.finish_op(t0, modeled, move |m, b, p| match algo {
+        self.finish_op(t0, payload_bytes, move |m, b, p| match algo {
             CollectiveAlgo::Ring => m.ring_allreduce(b, p),
             CollectiveAlgo::RecursiveDoubling => m.recursive_doubling_allreduce(b, p),
             CollectiveAlgo::Auto => m.allreduce(b, p),
         });
     }
 
+    /// In-place f32 allreduce-sum with algorithm selection.
+    pub fn allreduce_sum_with(&mut self, data: &mut [f32], algo: CollectiveAlgo) {
+        self.allreduce_with(data, algo);
+    }
+
     /// In-place allreduce-sum (auto algorithm).
     pub fn allreduce_sum(&mut self, data: &mut [f32]) {
-        self.allreduce_sum_with(data, CollectiveAlgo::Auto, None);
+        self.allreduce_sum_with(data, CollectiveAlgo::Auto);
     }
 
     /// In-place allreduce-average (auto algorithm).
@@ -238,43 +324,72 @@ impl CommHandle {
         }
     }
 
-    /// Ring allgather of a variable-length contribution. Returns all
-    /// contributions indexed by rank. `wire_bytes_each` overrides the
-    /// logical per-rank message size.
-    pub fn allgather(&mut self, data: &[f32], wire_bytes_each: Option<f64>) -> Vec<Vec<f32>> {
+    /// Ring allgather of a variable-length typed contribution. Returns all
+    /// contributions indexed by rank.
+    pub fn allgather<T: WireElem>(&mut self, data: &[T]) -> Vec<Vec<T>> {
+        self.allgather_bytes(T::to_payload(data)).into_iter().map(T::from_payload).collect()
+    }
+
+    /// Ring allgather of one opaque encoded frame per rank — the exchange
+    /// primitive for compressed gradients. Returns every rank's payload
+    /// (own included) indexed by rank; payload sizes and kinds may differ
+    /// across ranks. The logical wire size is this rank's own payload,
+    /// counted once; forwarding hops show up only in
+    /// `bytes_sent`/`wire_bytes`.
+    pub fn allgather_bytes(&mut self, payload: Payload) -> Vec<Payload> {
         let world = self.world();
         let rank = self.rank();
-        let modeled = wire_bytes_each.unwrap_or(4.0 * data.len() as f64);
-        self.stats.logical_wire_bits += (modeled * 8.0) as u64;
+        let payload_bytes = payload.byte_len() as f64;
+        self.stats.logical_wire_bits += payload.bits();
         let t0 = Instant::now();
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); world];
-        out[rank] = data.to_vec();
+        let mut out: Vec<Option<Payload>> = (0..world).map(|_| None).collect();
+        out[rank] = Some(payload);
         if world > 1 {
             let tag = self.next_tag();
             let right = (rank + 1) % world;
             let left = (rank + world - 1) % world;
-            let mut cur = data.to_vec();
+            // Each step forwards the frame that arrived the step before
+            // (own frame first) — streamed from `out` without cloning.
+            let mut fwd = rank;
             for step in 0..world - 1 {
-                self.send(right, tag + step as u64, &cur);
-                let got = self.recv(left, tag + step as u64);
-                // The chunk received at `step` started at the rank `step+1`
-                // hops to the left — the ring shifts one hop per step.
+                self.send_payload(right, tag + step as u64, out[fwd].as_ref().unwrap().as_ref());
+                let got = self.recv_payload(left, tag + step as u64);
+                // The frame received at `step` originated at the rank
+                // `step+1` hops to the left — the ring shifts one hop per
+                // step.
                 let origin = (rank + world - 1 - step) % world;
-                out[origin] = got.clone();
-                cur = got;
+                out[origin] = Some(got);
+                fwd = origin;
             }
         }
-        self.finish_op(t0, modeled, |m, b, p| m.ring_allgather(b, p));
-        out
+        self.finish_op(t0, payload_bytes, |m, b, p| m.ring_allgather(b, p));
+        out.into_iter().map(|p| p.expect("allgather ring left a hole")).collect()
+    }
+
+    /// Pairwise frame swap: ships `payload` to `peer` and returns the
+    /// frame `peer` shipped here (both sides must call symmetrically —
+    /// the sendrecv building block of exchange-style algorithms).
+    pub fn exchange_bytes(&mut self, peer: usize, payload: &Payload) -> Payload {
+        assert_ne!(peer, self.rank(), "exchange_bytes with self");
+        let payload_bytes = payload.byte_len() as f64;
+        self.stats.logical_wire_bits += payload.bits();
+        let t0 = Instant::now();
+        let tag = self.next_tag();
+        self.send_payload(peer, tag, payload.as_ref());
+        let got = self.recv_payload(peer, tag);
+        // Modeled cost of one pairwise round: RD-allreduce at world 2.
+        self.finish_op(t0, payload_bytes, |m, b, _| m.recursive_doubling_allreduce(b, 2));
+        got
     }
 
     /// Binomial-tree broadcast from `root`; `data` must be sized correctly
     /// on every rank (contents are overwritten on non-roots).
-    pub fn broadcast(&mut self, root: usize, data: &mut [f32]) {
+    pub fn broadcast<T: WireElem>(&mut self, root: usize, data: &mut [T]) {
         let world = self.world();
         let rank = self.rank();
-        let bytes = 4.0 * data.len() as f64;
-        self.stats.logical_wire_bits += if rank == root { (bytes * 8.0) as u64 } else { 0 };
+        let bytes = (T::BYTES * data.len()) as f64;
+        self.stats.logical_wire_bits +=
+            if rank == root { 8 * (T::BYTES * data.len()) as u64 } else { 0 };
         let t0 = Instant::now();
         if world > 1 {
             let tag = self.next_tag();
@@ -285,7 +400,7 @@ impl CommHandle {
             while mask < world {
                 if vr & mask != 0 {
                     let src = (vr - mask + root) % world;
-                    let got = self.recv(src, tag + mask as u64);
+                    let got = self.recv_elems::<T>(src, tag + mask as u64);
                     data.copy_from_slice(&got);
                     break;
                 }
@@ -306,7 +421,7 @@ impl CommHandle {
                 let dst_vr = vr + smask;
                 if dst_vr < world {
                     let dst = (dst_vr + root) % world;
-                    self.send(dst, tag + smask as u64, data);
+                    self.send_elems(dst, tag + smask as u64, data);
                 }
                 if smask == 1 {
                     break;
@@ -327,7 +442,7 @@ impl CommHandle {
         (lo, hi)
     }
 
-    fn ring_allreduce(&mut self, data: &mut [f32]) {
+    fn ring_allreduce<T: Reducible>(&mut self, data: &mut [T]) {
         let world = self.world();
         let rank = self.rank();
         let n = data.len();
@@ -340,12 +455,12 @@ impl CommHandle {
             let send_c = (rank + world - step) % world;
             let recv_c = (rank + world - step - 1) % world;
             let (slo, shi) = Self::chunk_bounds(n, world, send_c);
-            self.send(right, tag + step as u64, &data[slo..shi]);
-            let got = self.recv(left, tag + step as u64);
+            self.send_elems(right, tag + step as u64, &data[slo..shi]);
+            let got = self.recv_elems::<T>(left, tag + step as u64);
             let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
             debug_assert_eq!(got.len(), rhi - rlo);
-            for (d, g) in data[rlo..rhi].iter_mut().zip(&got) {
-                *d += *g;
+            for (d, g) in data[rlo..rhi].iter_mut().zip(got) {
+                T::reduce(d, g);
             }
         }
         // Allgather.
@@ -353,14 +468,14 @@ impl CommHandle {
             let send_c = (rank + 1 + world - step) % world;
             let recv_c = (rank + world - step) % world;
             let (slo, shi) = Self::chunk_bounds(n, world, send_c);
-            self.send(right, tag + (world - 1 + step) as u64, &data[slo..shi]);
-            let got = self.recv(left, tag + (world - 1 + step) as u64);
+            self.send_elems(right, tag + (world - 1 + step) as u64, &data[slo..shi]);
+            let got = self.recv_elems::<T>(left, tag + (world - 1 + step) as u64);
             let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
             data[rlo..rhi].copy_from_slice(&got);
         }
     }
 
-    fn rd_allreduce(&mut self, data: &mut [f32]) {
+    fn rd_allreduce<T: Reducible>(&mut self, data: &mut [T]) {
         let world = self.world();
         let rank = self.rank();
         let tag = self.next_tag();
@@ -374,12 +489,12 @@ impl CommHandle {
         // into odd ranks, which join the power-of-two core.
         let new_rank: Option<usize> = if rank < 2 * rem {
             if rank % 2 == 0 {
-                self.send(rank + 1, tag, data);
+                self.send_elems(rank + 1, tag, data);
                 None
             } else {
-                let got = self.recv(rank - 1, tag);
-                for (d, g) in data.iter_mut().zip(&got) {
-                    *d += *g;
+                let got = self.recv_elems::<T>(rank - 1, tag);
+                for (d, g) in data.iter_mut().zip(got) {
+                    T::reduce(d, g);
                 }
                 Some(rank / 2)
             }
@@ -394,10 +509,10 @@ impl CommHandle {
             let mut stage = 1u64;
             while mask < pow2 {
                 let partner = to_real(nr ^ mask);
-                self.send(partner, tag + stage, data);
-                let got = self.recv(partner, tag + stage);
-                for (d, g) in data.iter_mut().zip(&got) {
-                    *d += *g;
+                self.send_elems(partner, tag + stage, data);
+                let got = self.recv_elems::<T>(partner, tag + stage);
+                for (d, g) in data.iter_mut().zip(got) {
+                    T::reduce(d, g);
                 }
                 mask <<= 1;
                 stage += 1;
@@ -407,9 +522,9 @@ impl CommHandle {
         // Unfold: odd partners return the result to the folded even ranks.
         if rank < 2 * rem {
             if rank % 2 == 1 {
-                self.send(rank - 1, tag + 100, data);
+                self.send_elems(rank - 1, tag + 100, data);
             } else {
-                let got = self.recv(rank + 1, tag + 100);
+                let got = self.recv_elems::<T>(rank + 1, tag + 100);
                 data.copy_from_slice(&got);
             }
         }
@@ -445,7 +560,7 @@ mod tests {
         let inputs2 = inputs.clone();
         let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
             let mut data = inputs2[h.rank()].clone();
-            h.allreduce_sum_with(&mut data, algo, None);
+            h.allreduce_sum_with(&mut data, algo);
             data
         });
         for (r, got) in results.iter().enumerate() {
@@ -512,7 +627,7 @@ mod tests {
     fn allgather_varlen_collects_all() {
         let results = run_cluster(5, NetworkProfile::infiniband_100g(), |h| {
             let mine: Vec<f32> = (0..=h.rank()).map(|i| i as f32).collect();
-            h.allgather(&mine, None)
+            h.allgather(&mine)
         });
         for got in results {
             assert_eq!(got.len(), 5);
@@ -520,6 +635,42 @@ mod tests {
                 let expect: Vec<f32> = (0..=rank).map(|i| i as f32).collect();
                 assert_eq!(v, &expect, "rank {rank} contribution");
             }
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_preserves_kind_and_size_per_rank() {
+        // Each rank ships a different kind and length; everyone must get
+        // every frame back intact, indexed by origin rank.
+        let results = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let payload = match h.rank() {
+                0 => Payload::Bytes(vec![]),
+                1 => Payload::Bytes(vec![1, 2, 3]),
+                2 => Payload::PackedU64(vec![0xFEED, 0xBEEF]),
+                _ => Payload::F32Dense(vec![f32::NAN, -0.0]),
+            };
+            h.allgather_bytes(payload)
+        });
+        for got in results {
+            assert!(got[0].as_bytes().is_empty());
+            assert_eq!(got[1].as_bytes(), &[1, 2, 3]);
+            assert_eq!(got[2].clone().expect_u64(), vec![0xFEED, 0xBEEF]);
+            let f = got[3].clone().expect_f32();
+            assert!(f[0].is_nan() && f[1].to_bits() == (-0.0f32).to_bits());
+        }
+    }
+
+    #[test]
+    fn exchange_bytes_swaps_frames() {
+        let results = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
+            let mine = Payload::Bytes(vec![h.rank() as u8; 3]);
+            let got = h.exchange_bytes(1 - h.rank(), &mine);
+            (got.expect_bytes(), h.stats())
+        });
+        for (rank, (got, stats)) in results.into_iter().enumerate() {
+            assert_eq!(got, vec![(1 - rank) as u8; 3]);
+            assert_eq!(stats.logical_wire_bits, 24);
+            assert_eq!(stats.bytes_sent, 3);
         }
     }
 
@@ -556,21 +707,32 @@ mod tests {
     }
 
     #[test]
-    fn logical_wire_bits_override() {
+    fn a2sgd_packet_counts_64_logical_bits() {
+        // The paper's O(1) exchange: one packed u64 per rank, gathered.
+        // The logical accounting is the payload's own true size — 64 bits
+        // — with no override mechanism involved.
         let results = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
-            let mut d = vec![0.0f32; 1000];
-            // Model only 64 bits on the wire (A2SGD's two means).
-            h.allreduce_sum_with(&mut d, CollectiveAlgo::Auto, Some(8.0));
+            let got = h.allgather_bytes(Payload::PackedU64(vec![h.rank() as u64]));
+            assert_eq!(got.len(), 2);
             h.stats().logical_wire_bits
         });
         assert!(results.iter().all(|&b| b == 64));
     }
 
     #[test]
+    fn wire_elem_widths_match_the_payload_table() {
+        // WireElem::BYTES feeds the cost model and logical accounting; it
+        // must agree with the wire codec's single elem_bytes table.
+        assert_eq!(f32::BYTES, f32::payload_ref(&[0.0]).byte_len());
+        assert_eq!(u64::BYTES, u64::payload_ref(&[0]).byte_len());
+        assert_eq!(u8::BYTES, u8::payload_ref(&[0]).byte_len());
+    }
+
+    #[test]
     fn traffic_stats_count_physical_bytes() {
         let results = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
             let mut d = vec![0.0f32; 100];
-            h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring, None);
+            h.allreduce_sum_with(&mut d, CollectiveAlgo::Ring);
             h.stats()
         });
         for s in results {
@@ -579,6 +741,8 @@ mod tests {
             assert_eq!(s.bytes_sent, 4 * 100);
             // In-process transport has no framing: wire == payload.
             assert_eq!(s.wire_bytes, s.bytes_sent);
+            // Dense f32 is its own wire encoding: logical == physical.
+            assert_eq!(s.logical_wire_bits, 8 * s.bytes_sent);
         }
     }
 

@@ -19,6 +19,16 @@
 //!   `A2SGD_MASTER_ADDR`, and both traffic and time are *measured*, not
 //!   simulated.
 //!
+//! Every frame on either backend is a typed byte payload
+//! ([`transport::wire::Payload`]): dense f32 lanes, packed u64 words, or an
+//! opaque compressed byte stream. Collectives come in two families —
+//! element collectives generic over [`collective::WireElem`] (allreduce
+//! additionally needs [`collective::Reducible`] to combine partial sums in
+//! flight) and byte collectives ([`CommHandle::allgather_bytes`],
+//! [`CommHandle::exchange_bytes`]) that move encoded frames verbatim, so a
+//! compressed gradient crosses the socket at its encoded size and measured
+//! traffic equals the logical accounting.
+//!
 //! * [`profile::NetworkProfile`] — α (latency) and β (bandwidth) presets,
 //!   including the paper's 100 Gbps InfiniBand.
 //! * [`cost`] — closed-form collective cost functions.
@@ -33,11 +43,11 @@ pub mod profile;
 pub mod sim;
 pub mod transport;
 
-pub use collective::{CollectiveAlgo, CommHandle, TrafficStats};
+pub use collective::{CollectiveAlgo, CommHandle, Reducible, TrafficStats, WireElem};
 pub use cost::CostModel;
 pub use profile::NetworkProfile;
 pub use sim::{run_cluster, Cluster};
 pub use transport::{
     run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank, CommBackend,
-    TcpConfig, Transport,
+    Payload, PayloadKind, TcpConfig, Transport,
 };

@@ -7,6 +7,7 @@
 //! clock ([`Transport::clock_exchange`] returns `Some`), which is what lets
 //! the Hockney cost model overlay wall time analytically.
 
+use crate::transport::wire::{Payload, PayloadRef};
 use crate::transport::Transport;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -15,7 +16,7 @@ use std::sync::Arc;
 struct Msg {
     tag: u64,
     from: usize,
-    data: Vec<f32>,
+    data: Payload,
 }
 
 #[derive(Default)]
@@ -101,16 +102,16 @@ impl Transport for InProc {
         "inproc"
     }
 
-    fn send(&mut self, to: usize, tag: u64, payload: &[f32]) -> u64 {
+    fn send_bytes(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) -> u64 {
         let mb = &self.shared.mailboxes[to];
         let mut q = mb.q.lock();
-        q.push(Msg { tag, from: self.rank, data: payload.to_vec() });
+        q.push(Msg { tag, from: self.rank, data: payload.to_owned() });
         mb.cv.notify_all();
         // A memcpy has no framing: wire bytes == payload bytes.
-        4 * payload.len() as u64
+        payload.byte_len() as u64
     }
 
-    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32> {
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Payload {
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.q.lock();
         loop {
@@ -153,11 +154,23 @@ mod tests {
         let mut e0 = shared.endpoint(0);
         let mut e1 = shared.endpoint(1);
         let mut e2 = shared.endpoint(2);
-        e1.send(0, 7, &[1.0]);
-        e2.send(0, 7, &[2.0]);
+        e1.send_bytes(0, 7, Payload::F32Dense(vec![1.0]).as_ref());
+        e2.send_bytes(0, 7, Payload::F32Dense(vec![2.0]).as_ref());
         // Same tag, different sources: recv must disambiguate by rank.
-        assert_eq!(e0.recv(2, 7), vec![2.0]);
-        assert_eq!(e0.recv(1, 7), vec![1.0]);
+        assert_eq!(e0.recv_bytes(2, 7).expect_f32(), vec![2.0]);
+        assert_eq!(e0.recv_bytes(1, 7).expect_f32(), vec![1.0]);
+    }
+
+    #[test]
+    fn payload_kind_survives_the_mailbox() {
+        let shared = InProcShared::new(2);
+        let mut e0 = shared.endpoint(0);
+        let mut e1 = shared.endpoint(1);
+        let sent = e1.send_bytes(0, 1, Payload::PackedU64(vec![0xA2_5D]).as_ref());
+        assert_eq!(sent, 8, "memcpy wire bytes == payload bytes");
+        assert_eq!(e0.recv_bytes(1, 1).expect_u64(), vec![0xA2_5D]);
+        e1.send_bytes(0, 2, Payload::Bytes(vec![9, 8, 7]).as_ref());
+        assert_eq!(e0.recv_bytes(1, 2).expect_bytes(), vec![9, 8, 7]);
     }
 
     #[test]

@@ -78,7 +78,7 @@ where
     if let Some(rank) = tcp_child_rank() {
         let out = child(rank);
         let dir = std::env::var(ENV_OUT_DIR).expect("child without A2SGD_OUT_DIR");
-        let bytes = wire::encode_frame(rank as u64, &out);
+        let bytes = wire::encode_frame(rank as u64, wire::PayloadRef::F32Dense(&out));
         std::fs::write(result_path(std::path::Path::new(&dir), rank), bytes)
             .expect("write result file");
         let _ = std::io::stdout().flush();
@@ -144,7 +144,7 @@ where
         let (tag, data) = wire::read_frame(&mut &bytes[..])
             .unwrap_or_else(|e| panic!("rank {rank} result file corrupt: {e}"));
         assert_eq!(tag as usize, rank, "result file rank mismatch");
-        results.push(data);
+        results.push(data.expect_f32());
     }
     let _ = std::fs::remove_dir_all(&out_dir);
     results

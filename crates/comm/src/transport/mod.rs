@@ -11,6 +11,12 @@
 //!   loopback/LAN `TcpStream`s with length-prefixed little-endian framing
 //!   ([`wire`]); bytes on the wire and elapsed time are *measured*.
 //!
+//! Both backends move typed byte frames ([`wire::Payload`]): dense f32
+//! lanes, packed 64-bit words, or opaque compressed byte streams. A
+//! payload's byte length *is* its wire size, so compressed gradient
+//! encodings cross the real socket at their encoded size instead of being
+//! expanded back to f32 buffers.
+//!
 //! Rendezvous for the TCP backend is torchrun-style: rank 0 listens on
 //! `A2SGD_MASTER_ADDR`, every rank registers its data-plane address, and
 //! the full peer table is broadcast back before the mesh of per-peer
@@ -24,14 +30,15 @@ pub mod wire;
 pub use inproc::{InProc, InProcShared};
 pub use launch::{run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank};
 pub use tcp::{Tcp, TcpConfig};
+pub use wire::{Payload, PayloadKind, PayloadRef};
 
 /// A point-to-point data plane the collectives run over.
 ///
-/// The contract mirrors a minimal MPI: tagged blocking send/recv of `f32`
-/// frames between ranks plus a full barrier. Implementations must deliver
-/// frames between a given (sender, receiver) pair in send order; the
-/// collectives only ever post receives whose source rank is determined by
-/// the algorithm, so no wildcard receive exists.
+/// The contract mirrors a minimal MPI: tagged blocking send/recv of typed
+/// byte frames ([`Payload`]) between ranks plus a full barrier.
+/// Implementations must deliver frames between a given (sender, receiver)
+/// pair in send order; the collectives only ever post receives whose source
+/// rank is determined by the algorithm, so no wildcard receive exists.
 pub trait Transport: Send {
     /// This endpoint's rank.
     fn rank(&self) -> usize;
@@ -42,13 +49,15 @@ pub trait Transport: Send {
     /// Human-readable backend name (for labels and error messages).
     fn backend_name(&self) -> &'static str;
 
-    /// Sends a tagged frame to `to`. Returns the number of bytes actually
-    /// put on the wire — payload plus framing overhead for real networks,
-    /// bare payload for the in-process memcpy.
-    fn send(&mut self, to: usize, tag: u64, payload: &[f32]) -> u64;
+    /// Sends a tagged typed frame to `to`, streaming straight from the
+    /// caller's borrowed buffers ([`PayloadRef`] — no send-side copy on
+    /// real networks). Returns the number of bytes actually put on the
+    /// wire — payload plus framing overhead for real networks, bare
+    /// payload bytes for the in-process memcpy.
+    fn send_bytes(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) -> u64;
 
     /// Blocking receive of the frame carrying `tag` from rank `from`.
-    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32>;
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Payload;
 
     /// Blocks until every rank has entered the barrier. Returns the
     /// `(frames, wire_bytes)` this rank's barrier traffic put on the wire

@@ -14,9 +14,11 @@
 //! ## Framing
 //!
 //! Frames are the [`wire`](crate::transport::wire) format: a 16-byte
-//! little-endian header (magic, element count, tag) followed by raw f32
-//! bits. `TCP_NODELAY` is set on every stream — the collectives are
-//! latency-bound request/response patterns, exactly what Nagle hurts.
+//! little-endian header (magic, payload kind + byte count, tag) followed by
+//! the typed payload's raw bytes — dense f32 lanes, packed u64 words, or an
+//! opaque compressed byte stream. `TCP_NODELAY` is set on every stream —
+//! the collectives are latency-bound request/response patterns, exactly
+//! what Nagle hurts.
 //!
 //! ## Progress
 //!
@@ -30,7 +32,7 @@
 //! Unlike the in-process backend there is no simulated clock: bytes are
 //! counted as they hit the socket and time is whatever the wall clock says.
 
-use crate::transport::wire;
+use crate::transport::wire::{self, Payload, PayloadRef};
 use crate::transport::Transport;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -89,7 +91,7 @@ pub(crate) enum MasterEndpoint {
 }
 
 struct InboxState {
-    frames: VecDeque<(u64, Vec<f32>)>,
+    frames: VecDeque<(u64, Payload)>,
     /// Set by the reader thread when the connection ends: how it ended
     /// (clean EOF vs reset vs protocol desync), surfaced in the panic of
     /// any receive still waiting on this peer.
@@ -310,14 +312,14 @@ impl Transport for Tcp {
         "tcp"
     }
 
-    fn send(&mut self, to: usize, tag: u64, payload: &[f32]) -> u64 {
+    fn send_bytes(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) -> u64 {
         let w = &mut self.peer(to).writer;
         let n = wire::write_frame(w, tag, payload).expect("TCP send failed");
         w.flush().expect("TCP flush failed");
         n
     }
 
-    fn recv(&mut self, from: usize, tag: u64) -> Vec<f32> {
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Payload {
         let me = self.rank;
         let inbox = &self.peers[from]
             .as_ref()
@@ -350,9 +352,9 @@ impl Transport for Tcp {
         while hop < self.world {
             let to = (self.rank + hop) % self.world;
             let from = (self.rank + self.world - hop) % self.world;
-            wire_bytes += self.send(to, base | round, &[]);
+            wire_bytes += self.send_bytes(to, base | round, PayloadRef::Bytes(&[]));
             frames += 1;
-            let _ = self.recv(from, base | round);
+            let _ = self.recv_bytes(from, base | round);
             hop <<= 1;
             round += 1;
         }
@@ -400,20 +402,23 @@ mod tests {
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
-                let wire_bytes = t.send(1, 42, &[1.0, 2.0]);
-                assert_eq!(wire_bytes, wire::frame_wire_bytes(2));
+                let wire_bytes = t.send_bytes(1, 42, Payload::F32Dense(vec![1.0, 2.0]).as_ref());
+                assert_eq!(wire_bytes, wire::frame_wire_bytes(8));
+                let wire_bytes = t.send_bytes(1, 44, Payload::Bytes(vec![7, 8, 9]).as_ref());
+                assert_eq!(wire_bytes, wire::frame_wire_bytes(3));
                 t.barrier();
-                t.recv(1, 43)
+                t.recv_bytes(1, 43).expect_u64()
             });
             let j1 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
-                let got = t.recv(0, 42);
+                let got = t.recv_bytes(0, 42).expect_f32();
                 assert_eq!(got, vec![1.0, 2.0]);
+                assert_eq!(t.recv_bytes(0, 44).expect_bytes(), vec![7, 8, 9]);
                 t.barrier();
-                t.send(0, 43, &[3.0]);
+                t.send_bytes(0, 43, Payload::PackedU64(vec![3]).as_ref());
                 got
             });
-            assert_eq!(j0.join().unwrap(), vec![3.0]);
+            assert_eq!(j0.join().unwrap(), vec![3]);
             j1.join().unwrap();
         });
     }
@@ -425,15 +430,15 @@ mod tests {
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
-                t.send(1, 1, &[1.0]);
-                t.send(1, 2, &[2.0]);
+                t.send_bytes(1, 1, Payload::F32Dense(vec![1.0]).as_ref());
+                t.send_bytes(1, 2, Payload::F32Dense(vec![2.0]).as_ref());
             });
             let j1 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
                 // Request the second frame first: the first must be parked
                 // in the pending queue, not lost.
-                assert_eq!(t.recv(0, 2), vec![2.0]);
-                assert_eq!(t.recv(0, 1), vec![1.0]);
+                assert_eq!(t.recv_bytes(0, 2).expect_f32(), vec![2.0]);
+                assert_eq!(t.recv_bytes(0, 1).expect_f32(), vec![1.0]);
             });
             j0.join().unwrap();
             j1.join().unwrap();

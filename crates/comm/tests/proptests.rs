@@ -1,8 +1,8 @@
 //! Property tests: every collective equals its sequential reference for
-//! arbitrary world sizes and payload lengths, and the TCP wire codec
-//! round-trips arbitrary bit patterns.
+//! arbitrary world sizes and payload lengths, and the typed wire codec
+//! round-trips arbitrary bit patterns in every payload kind.
 
-use cluster_comm::transport::wire::{encode_frame, frame_wire_bytes, read_frame};
+use cluster_comm::transport::wire::{encode_frame, frame_wire_bytes, read_frame, Payload};
 use cluster_comm::{run_cluster, CollectiveAlgo, NetworkProfile};
 use proptest::prelude::*;
 
@@ -30,7 +30,7 @@ proptest! {
         let inputs2 = inputs.clone();
         let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
             let mut d = inputs2[h.rank()].clone();
-            h.allreduce_sum_with(&mut d, algo, None);
+            h.allreduce_sum_with(&mut d, algo);
             d
         });
         for got in results {
@@ -49,10 +49,33 @@ proptest! {
             .collect();
         let inputs2 = inputs.clone();
         let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
-            h.allgather(&inputs2[h.rank()], None)
+            h.allgather(&inputs2[h.rank()])
         });
         for got in results {
             prop_assert_eq!(&got, &inputs);
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_preserves_every_frame(world in 1usize..8, base in 0usize..24, seed in 0u64..500) {
+        // Rank-dependent opaque byte frames (including empty ones) must
+        // come back verbatim, indexed by origin.
+        let frames: Vec<Vec<u8>> = (0..world)
+            .map(|r| {
+                (0..(base + r * 3) % 17)
+                    .map(|i| (seed as u8).wrapping_add((i as u8).wrapping_mul(31)))
+                    .collect()
+            })
+            .collect();
+        let frames2 = frames.clone();
+        let results = run_cluster(world, NetworkProfile::infiniband_100g(), move |h| {
+            h.allgather_bytes(Payload::Bytes(frames2[h.rank()].clone()))
+                .into_iter()
+                .map(Payload::expect_bytes)
+                .collect::<Vec<_>>()
+        });
+        for got in results {
+            prop_assert_eq!(&got, &frames);
         }
     }
 
@@ -72,58 +95,92 @@ proptest! {
     }
 
     #[test]
-    fn wire_frame_roundtrips_arbitrary_bit_patterns(
+    fn f32_frame_roundtrips_arbitrary_bit_patterns(
         raw in prop::collection::vec(any::<u32>(), 0..300),
         tag in any::<u64>(),
     ) {
         // Payloads are raw IEEE-754 bit patterns, so this sweeps NaNs
         // (quiet and signaling), ±inf, subnormals and -0.0 alongside
         // ordinary values — the codec must be bit-transparent to all.
-        let payload: Vec<f32> = raw.iter().map(|&b| f32::from_bits(b)).collect();
-        let buf = encode_frame(tag, &payload);
-        prop_assert_eq!(buf.len() as u64, frame_wire_bytes(payload.len()));
+        let payload = Payload::F32Dense(raw.iter().map(|&b| f32::from_bits(b)).collect());
+        let buf = encode_frame(tag, payload.as_ref());
+        prop_assert_eq!(buf.len() as u64, frame_wire_bytes(4 * raw.len()));
         let (got_tag, got) = read_frame(&mut &buf[..]).unwrap();
         prop_assert_eq!(got_tag, tag);
-        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.expect_f32().iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(got_bits, raw);
+    }
+
+    #[test]
+    fn u64_frame_roundtrips_arbitrary_bit_patterns(
+        raw in prop::collection::vec(any::<u64>(), 0..200),
+        tag in any::<u64>(),
+    ) {
+        let payload = Payload::PackedU64(raw.clone());
+        let buf = encode_frame(tag, payload.as_ref());
+        prop_assert_eq!(buf.len() as u64, frame_wire_bytes(8 * raw.len()));
+        let (got_tag, got) = read_frame(&mut &buf[..]).unwrap();
+        prop_assert_eq!(got_tag, tag);
+        prop_assert_eq!(got.expect_u64(), raw);
+    }
+
+    #[test]
+    fn byte_frame_roundtrips_arbitrary_bytes(
+        raw in prop::collection::vec(any::<u8>(), 0..600),
+        tag in any::<u64>(),
+    ) {
+        let payload = Payload::Bytes(raw.clone());
+        let buf = encode_frame(tag, payload.as_ref());
+        prop_assert_eq!(buf.len() as u64, frame_wire_bytes(raw.len()));
+        let (got_tag, got) = read_frame(&mut &buf[..]).unwrap();
+        prop_assert_eq!(got_tag, tag);
+        prop_assert_eq!(got.expect_bytes(), raw);
     }
 
     #[test]
     fn wire_frames_concatenate_cleanly(
         a in prop::collection::vec(any::<u32>(), 0..60),
-        b in prop::collection::vec(any::<u32>(), 0..60),
+        b in prop::collection::vec(any::<u8>(), 0..60),
     ) {
-        // A stream is just back-to-back frames: decoding must consume
-        // exactly one frame and leave the next intact.
-        let pa: Vec<f32> = a.iter().map(|&x| f32::from_bits(x)).collect();
-        let pb: Vec<f32> = b.iter().map(|&x| f32::from_bits(x)).collect();
-        let mut stream = encode_frame(1, &pa);
-        stream.extend_from_slice(&encode_frame(2, &pb));
+        // A stream is just back-to-back frames — of different kinds:
+        // decoding must consume exactly one frame and leave the next
+        // intact, kind included.
+        let pa = Payload::F32Dense(a.iter().map(|&x| f32::from_bits(x)).collect());
+        let pb = Payload::Bytes(b.clone());
+        let mut stream = encode_frame(1, pa.as_ref());
+        stream.extend_from_slice(&encode_frame(2, pb.as_ref()));
         let mut cursor = &stream[..];
         let (t1, d1) = read_frame(&mut cursor).unwrap();
         let (t2, d2) = read_frame(&mut cursor).unwrap();
         prop_assert!(cursor.is_empty());
         prop_assert_eq!(t1, 1);
         prop_assert_eq!(t2, 2);
-        let d1b: Vec<u32> = d1.iter().map(|v| v.to_bits()).collect();
-        let d2b: Vec<u32> = d2.iter().map(|v| v.to_bits()).collect();
+        let d1b: Vec<u32> = d1.expect_f32().iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(d1b, a);
-        prop_assert_eq!(d2b, b);
+        prop_assert_eq!(d2.expect_bytes(), b);
     }
 }
 
 #[test]
 fn wire_frame_roundtrips_specials_and_large_payloads() {
-    // Deterministic companions to the property: the named special values
-    // and a frame well past 64 KiB.
+    // Deterministic companions to the properties: the named special values,
+    // empty frames of every kind, and a frame well past 64 KiB.
     let mut payload =
         vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, f32::MIN_POSITIVE, 1e-45];
     payload.extend((0..30_000).map(|i| (i as f32).sin())); // 120 KB payload
-    let buf = encode_frame(u64::MAX, &payload);
-    assert_eq!(buf.len() as u64, frame_wire_bytes(payload.len()));
+    let buf = encode_frame(u64::MAX, Payload::F32Dense(payload.clone()).as_ref());
+    assert_eq!(buf.len() as u64, frame_wire_bytes(4 * payload.len()));
     let (tag, got) = read_frame(&mut &buf[..]).unwrap();
     assert_eq!(tag, u64::MAX);
     let want: Vec<u32> = payload.iter().map(|v| v.to_bits()).collect();
-    let got: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+    let got: Vec<u32> = got.expect_f32().iter().map(|v| v.to_bits()).collect();
     assert_eq!(got, want);
+
+    for empty in [Payload::F32Dense(vec![]), Payload::PackedU64(vec![]), Payload::Bytes(vec![])] {
+        let kind = empty.kind();
+        let buf = encode_frame(5, empty.as_ref());
+        let (_, got) = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(got.kind(), kind);
+        assert_eq!(got.byte_len(), 0);
+    }
 }

@@ -114,6 +114,24 @@ pub fn gamma_len(v: u64) -> usize {
     (2 * (nbits - 1) + 1) as usize
 }
 
+/// Builds the shared scale-prefixed bit-stream wire frame: 4 bytes of f32
+/// scale (raw little-endian bits) followed by the writer's bytes, final
+/// byte zero-padded. QSGD, TernGrad and EF-SignSGD all frame their
+/// encodings this way.
+pub fn scaled_stream_payload(scale: f32, w: &BitWriter) -> cluster_comm::Payload {
+    let mut bytes = Vec::with_capacity(4 + w.as_bytes().len());
+    bytes.extend_from_slice(&scale.to_bits().to_le_bytes());
+    bytes.extend_from_slice(w.as_bytes());
+    cluster_comm::Payload::Bytes(bytes)
+}
+
+/// Splits a scale-prefixed frame back into `(scale, bit-stream bytes)`.
+pub fn split_scaled_stream(payload: &cluster_comm::Payload) -> (f32, &[u8]) {
+    let bytes = payload.as_bytes();
+    let scale = f32::from_bits(u32::from_le_bytes(bytes[0..4].try_into().unwrap()));
+    (scale, &bytes[4..])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

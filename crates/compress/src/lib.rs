@@ -8,10 +8,16 @@
 //! trait.
 //!
 //! Every synchronizer owns its worker-local state (error-feedback memory,
-//! RNG streams) and performs one collective exchange per call through a
-//! [`cluster_comm::CommHandle`]. Wire sizes are accounted in *logical bits*
-//! (what a real network would carry — Table 2's third column), independent
-//! of the f32 buffers the in-process transport physically copies.
+//! RNG streams) and follows an explicit **encode → exchange → decode**
+//! shape: it encodes its contribution into a typed wire payload
+//! ([`cluster_comm::Payload`] — Elias-coded QSGD levels, `(u32 idx, f32
+//! val)` sparse records, sign/ternary bit-packs, or plain f32 lanes for the
+//! dense reducible path), ships exactly those bytes through one collective
+//! call, and decodes the peers' frames. Because the encoded payload *is*
+//! what crosses the transport, [`SyncStats::wire_bits`] is derived from the
+//! bytes that actually moved — on the TCP backend, measured
+//! `TrafficStats::wire_bytes` equals these bits (rounded up to whole
+//! bytes) plus the fixed per-frame framing header, nothing more.
 
 pub mod dense;
 pub mod ef;
@@ -41,8 +47,23 @@ pub struct SyncStats {
     /// Seconds spent compressing/selecting/encoding on this worker
     /// (measured wall time).
     pub compress_seconds: f64,
-    /// Logical bits this worker put on the wire.
+    /// Bits this worker's own encoded contribution put on the wire,
+    /// derived from the typed payload bytes the collective actually moved
+    /// (sub-byte encodings are padded to whole bytes, so this is a
+    /// multiple of 8 for opaque byte frames).
     pub wire_bits: u64,
+}
+
+/// Captures the logical-bit delta a collective exchange produced — the
+/// standard way synchronizers derive [`SyncStats::wire_bits`] from the
+/// bytes that actually moved.
+pub fn wire_bits_of<R>(
+    comm: &mut CommHandle,
+    exchange: impl FnOnce(&mut CommHandle) -> R,
+) -> (R, u64) {
+    let before = comm.stats().logical_wire_bits;
+    let out = exchange(comm);
+    (out, comm.stats().logical_wire_bits - before)
 }
 
 /// A distributed gradient-synchronization algorithm.
@@ -58,8 +79,12 @@ pub trait GradientSynchronizer: Send {
     /// Synchronizes `grad` across ranks in place.
     fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats;
 
-    /// Closed-form wire bits per worker for an `n`-parameter model
-    /// (Table 2 column 3).
+    /// Closed-form wire bits per worker for an `n`-parameter model — the
+    /// true size of the algorithm's encoded payload (Table 2 column 3,
+    /// with index/sign overheads the encoding actually carries). For
+    /// deterministic encodings this equals the measured per-iteration
+    /// [`SyncStats::wire_bits`]; for entropy-coded ones (QSGD) it is the
+    /// published expectation.
     fn wire_bits_formula(&self, n: usize) -> u64;
 
     /// Asymptotic computation complexity label (Table 2 column 2).

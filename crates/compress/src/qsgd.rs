@@ -11,9 +11,9 @@
 //!   used by the Figure 2 regenerator so the *shape* of the paper's
 //!   computation-time comparison is reproducible.
 
-use crate::elias::{gamma_decode, gamma_encode, BitReader, BitWriter};
+use crate::elias::{gamma_decode, gamma_encode, gamma_len, BitReader, BitWriter};
 use crate::{GradientSynchronizer, SyncStats};
-use cluster_comm::CommHandle;
+use cluster_comm::{CommHandle, Payload};
 use mini_tensor::rng::SeedRng;
 use std::time::Instant;
 
@@ -33,8 +33,10 @@ pub struct QuantizedGrad {
     pub norm: f32,
     /// Signed levels in `[-s, s]`.
     pub levels: Vec<i8>,
-    /// Exact Elias-coded size in bits (32 for the norm + per-coordinate
-    /// sign + gamma(level+1)).
+    /// Elias-coded size in bits: exact (32 for the norm + per-coordinate
+    /// sign + gamma(level+1)) when produced by [`Qsgd::quantize`];
+    /// byte-padded (a multiple of 8, the frame as it crossed the wire)
+    /// when produced by [`Qsgd::decode_payload`].
     pub encoded_bits: u64,
 }
 
@@ -65,13 +67,13 @@ impl Qsgd {
         }
     }
 
+    /// Closed-form size of the Elias stream — no bit buffer is built, so
+    /// quantization can report its encoded size without paying for the
+    /// encoding twice ([`Self::encode_payload`] builds the real stream).
     fn encode_bits(levels: &[i8]) -> u64 {
-        let mut w = BitWriter::new();
-        for &l in levels {
-            w.push_bit(l < 0);
-            gamma_encode(&mut w, l.unsigned_abs() as u64 + 1);
-        }
-        32 + w.bit_len() as u64
+        let stream: usize =
+            levels.iter().map(|&l| 1 + gamma_len(l.unsigned_abs() as u64 + 1)).sum();
+        32 + stream as u64
     }
 
     fn quantize_fast(&mut self, g: &[f32]) -> QuantizedGrad {
@@ -122,18 +124,25 @@ impl Qsgd {
         }
     }
 
-    /// Serialises into the f32 transport buffer: `[norm, levels…]`.
-    fn pack(q: &QuantizedGrad) -> Vec<f32> {
-        let mut buf = Vec::with_capacity(1 + q.levels.len());
-        buf.push(q.norm);
-        buf.extend(q.levels.iter().map(|&l| l as f32));
-        buf
+    /// Encodes a quantized gradient into its wire frame: 4 bytes of norm
+    /// followed by the Elias stream (sign bit + gamma(|level|+1) per
+    /// coordinate, final byte zero-padded). This is the *actual* byte
+    /// stream the transport moves — `ceil(encoded_bits / 8)` bytes.
+    pub fn encode_payload(q: &QuantizedGrad) -> Payload {
+        let mut w = BitWriter::new();
+        for &l in &q.levels {
+            w.push_bit(l < 0);
+            gamma_encode(&mut w, l.unsigned_abs() as u64 + 1);
+        }
+        crate::elias::scaled_stream_payload(q.norm, &w)
     }
 
-    fn unpack(buf: &[f32]) -> QuantizedGrad {
-        let norm = buf[0];
-        let levels: Vec<i8> = buf[1..].iter().map(|&v| v as i8).collect();
-        QuantizedGrad { norm, levels, encoded_bits: 0 }
+    /// Decodes a peer's wire frame back into levels (`n` = model size,
+    /// known identically on every SPMD rank).
+    pub fn decode_payload(payload: &Payload, n: usize) -> QuantizedGrad {
+        let (norm, stream) = crate::elias::split_scaled_stream(payload);
+        let levels = decode_levels(stream, 8 * stream.len(), n);
+        QuantizedGrad { norm, levels, encoded_bits: payload.bits() }
     }
 }
 
@@ -145,26 +154,25 @@ impl GradientSynchronizer for Qsgd {
     fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
         let t0 = Instant::now();
         let q = self.quantize(grad);
-        let payload = Self::pack(&q);
+        let payload = Self::encode_payload(&q);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        // Exchange quantized gradients; model the measured encoded bits.
-        let wire_bytes = q.encoded_bits as f64 / 8.0;
-        let gathered = comm.allgather(&payload, Some(wire_bytes));
+        // Exchange the Elias byte streams themselves.
+        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
 
-        // Average the dequantized contributions.
+        // Decode and average the dequantized contributions.
         grad.fill(0.0);
         let inv = 1.0 / gathered.len() as f32;
         let mut scratch = vec![0.0f32; grad.len()];
-        for buf in &gathered {
-            let qg = Self::unpack(buf);
+        for frame in &gathered {
+            let qg = Self::decode_payload(frame, scratch.len());
             Self::dequantize(&qg, self.s, &mut scratch);
             for (g, v) in grad.iter_mut().zip(&scratch) {
                 *g += v * inv;
             }
         }
-        SyncStats { compress_seconds, wire_bits: q.encoded_bits }
+        SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {
@@ -240,6 +248,20 @@ mod tests {
         assert_eq!(qg.encoded_bits, 32 + w.bit_len() as u64);
         let back = decode_levels(w.as_bytes(), w.bit_len(), g.len());
         assert_eq!(back, qg.levels);
+    }
+
+    #[test]
+    fn wire_payload_roundtrips_and_is_byte_exact() {
+        let mut q = Qsgd::new(4, QsgdImpl::Fast, 21);
+        let mut rng = SeedRng::new(22);
+        let g: Vec<f32> = (0..333).map(|_| rng.randn() * 0.3).collect();
+        let qg = q.quantize(&g);
+        let payload = Qsgd::encode_payload(&qg);
+        // The frame is exactly the encoded stream, padded to whole bytes.
+        assert_eq!(payload.byte_len() as u64, qg.encoded_bits.div_ceil(8));
+        let back = Qsgd::decode_payload(&payload, g.len());
+        assert_eq!(back.levels, qg.levels);
+        assert_eq!(back.norm.to_bits(), qg.norm.to_bits());
     }
 
     #[test]

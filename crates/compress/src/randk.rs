@@ -65,17 +65,17 @@ impl GradientSynchronizer for RandK {
         self.kept.fill(0.0);
         sparse::scatter_into(&mut self.kept, &idx, &val, 1.0);
         self.ef.absorb(&self.acc, &self.kept);
-        let payload = sparse::pack(&idx, &val);
+        let payload = sparse::encode(&idx, &val);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        let gathered = comm.allgather(&payload, Some(4.0 * self.k as f64));
+        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
         sparse::average_gathered(grad, &gathered);
-        SyncStats { compress_seconds, wire_bits: 32 * self.k as u64 }
+        SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
-        32 * self.k as u64
+        sparse::PAIR_BITS * self.k as u64
     }
 
     fn complexity(&self) -> &'static str {

@@ -1,13 +1,15 @@
 //! EF-SignSGD (Karimireddy et al., paper ref [22]).
 
 use crate::ef::ErrorFeedback;
+use crate::elias::{BitReader, BitWriter};
 use crate::{GradientSynchronizer, SyncStats};
-use cluster_comm::CommHandle;
+use cluster_comm::{CommHandle, Payload};
 use std::time::Instant;
 
 /// Transmits `sign(g + m) · ‖g + m‖₁/n` (one bit per coordinate plus a
 /// 32-bit scale) with error feedback — the fix that makes 1-bit SGD
-/// convergent.
+/// convergent. The wire frame is literally that: 4 bytes of scale + a
+/// 1-bit-per-coordinate sign pack.
 pub struct SignSgdEf {
     ef: ErrorFeedback,
     acc: Vec<f32>,
@@ -17,6 +19,37 @@ impl SignSgdEf {
     /// Creates EF-SignSGD for an `n`-parameter model.
     pub fn new(n: usize) -> Self {
         SignSgdEf { ef: ErrorFeedback::new(n), acc: vec![0.0; n] }
+    }
+
+    /// Encodes the wire frame: 4 bytes of scale + one sign bit per
+    /// coordinate (1 = negative), final byte zero-padded.
+    pub fn encode_payload(scale: f32, acc: &[f32]) -> Payload {
+        let mut w = BitWriter::new();
+        for &a in acc {
+            w.push_bit(a.is_sign_negative());
+        }
+        crate::elias::scaled_stream_payload(scale, &w)
+    }
+
+    /// Folds a peer's frame into `acc`: `acc[i] += (±scale) · weight` —
+    /// the decode-and-average step without materialising a temporary
+    /// vector.
+    pub fn accumulate_payload(payload: &Payload, acc: &mut [f32], weight: f32) {
+        let (scale, stream) = crate::elias::split_scaled_stream(payload);
+        let mut r = BitReader::new(stream, 8 * stream.len());
+        for a in acc.iter_mut() {
+            let v = if r.read_bit().expect("truncated sign stream") { -scale } else { scale };
+            *a += v * weight;
+        }
+    }
+
+    /// Decodes a peer's frame back to `±scale` values.
+    pub fn decode_payload(payload: &Payload, n: usize) -> Vec<f32> {
+        let (scale, stream) = crate::elias::split_scaled_stream(payload);
+        let mut r = BitReader::new(stream, 8 * stream.len());
+        (0..n)
+            .map(|_| if r.read_bit().expect("truncated sign stream") { -scale } else { scale })
+            .collect()
     }
 }
 
@@ -31,30 +64,27 @@ impl GradientSynchronizer for SignSgdEf {
         self.ef.apply(&mut self.acc);
         let n = grad.len();
         let scale = (self.acc.iter().map(|v| v.abs() as f64).sum::<f64>() / n as f64) as f32;
-        // Decoded local contribution.
-        for (g, &a) in grad.iter_mut().zip(self.acc.iter()) {
-            *g = scale * a.signum();
-        }
-        let decoded = grad.to_vec();
+        // Decoded local contribution (what error feedback absorbs).
+        let decoded: Vec<f32> = self.acc.iter().map(|&a| scale * a.signum()).collect();
         self.ef.absorb(&self.acc, &decoded);
+        let payload = Self::encode_payload(scale, &self.acc);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        let wire_bits = self.wire_bits_formula(n);
-        comm.allreduce_sum_with(
-            grad,
-            cluster_comm::CollectiveAlgo::Auto,
-            Some(wire_bits as f64 / 8.0),
-        );
-        let inv = 1.0 / comm.world() as f32;
-        for v in grad.iter_mut() {
-            *v *= inv;
+        // Exchange the sign packs; decode every peer's frame straight into
+        // the accumulating gradient (no per-peer temporaries).
+        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
+        let inv = 1.0 / gathered.len() as f32;
+        grad.fill(0.0);
+        for frame in &gathered {
+            Self::accumulate_payload(frame, grad, inv);
         }
         SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {
-        n as u64 + 32
+        // 1-bit sign pack + 32-bit scale, padded to whole bytes.
+        8 * (n as u64).div_ceil(8) + 32
     }
 
     fn complexity(&self) -> &'static str {

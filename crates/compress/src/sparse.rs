@@ -1,29 +1,36 @@
 //! Shared sparse-payload machinery for the k-selection family.
 //!
-//! A sparse contribution is `(index, value)` pairs. For the in-process
-//! allgather transport we pack each pair into two f32 lanes — the index
-//! lane stores the `u32` index **bit-cast** to f32, which is exact (no
-//! float rounding of indices).
+//! A sparse contribution is `(index, value)` pairs, encoded as an opaque
+//! byte frame ([`Payload::Bytes`]): per pair a little-endian `u32` index
+//! followed by the value's raw little-endian IEEE-754 bits — 64 bits per
+//! kept coordinate, which is exactly what the transport puts on the wire
+//! (plus fixed framing).
 
-/// Packs `(idx, val)` pairs into an f32 transport buffer.
-pub fn pack(idx: &[u32], val: &[f32]) -> Vec<f32> {
+use cluster_comm::Payload;
+
+/// Bits one `(index, value)` record occupies on the wire.
+pub const PAIR_BITS: u64 = 64;
+
+/// Encodes `(idx, val)` pairs into the sparse wire frame.
+pub fn encode(idx: &[u32], val: &[f32]) -> Payload {
     assert_eq!(idx.len(), val.len());
-    let mut out = Vec::with_capacity(2 * idx.len());
+    let mut bytes = Vec::with_capacity(8 * idx.len());
     for (&i, &v) in idx.iter().zip(val) {
-        out.push(f32::from_bits(i));
-        out.push(v);
+        bytes.extend_from_slice(&i.to_le_bytes());
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
     }
-    out
+    Payload::Bytes(bytes)
 }
 
-/// Unpacks a transport buffer back into `(idx, val)` pairs.
-pub fn unpack(buf: &[f32]) -> (Vec<u32>, Vec<f32>) {
-    assert!(buf.len() % 2 == 0, "sparse payload must be (idx,val) pairs");
-    let mut idx = Vec::with_capacity(buf.len() / 2);
-    let mut val = Vec::with_capacity(buf.len() / 2);
-    for pair in buf.chunks_exact(2) {
-        idx.push(pair[0].to_bits());
-        val.push(pair[1]);
+/// Decodes a sparse wire frame back into `(idx, val)` pairs.
+pub fn decode(payload: &Payload) -> (Vec<u32>, Vec<f32>) {
+    let bytes = payload.as_bytes();
+    assert!(bytes.len() % 8 == 0, "sparse frame must be (u32 idx, f32 val) records");
+    let mut idx = Vec::with_capacity(bytes.len() / 8);
+    let mut val = Vec::with_capacity(bytes.len() / 8);
+    for rec in bytes.chunks_exact(8) {
+        idx.push(u32::from_le_bytes(rec[0..4].try_into().unwrap()));
+        val.push(f32::from_bits(u32::from_le_bytes(rec[4..8].try_into().unwrap())));
     }
     (idx, val)
 }
@@ -35,14 +42,14 @@ pub fn scatter_into(dense: &mut [f32], idx: &[u32], val: &[f32], scale: f32) {
     }
 }
 
-/// Averages all gathered sparse contributions into `out` (zeroed first):
-/// `out = (1/P) Σ_p scatter(payload_p)` — the sparse analogue of
+/// Averages all gathered sparse frames into `out` (zeroed first):
+/// `out = (1/P) Σ_p scatter(frame_p)` — the sparse analogue of
 /// allreduce-average used by Top-K/Gaussian-K/Rand-K.
-pub fn average_gathered(out: &mut [f32], gathered: &[Vec<f32>]) {
+pub fn average_gathered(out: &mut [f32], gathered: &[Payload]) {
     out.fill(0.0);
     let inv = 1.0 / gathered.len() as f32;
     for payload in gathered {
-        let (idx, val) = unpack(payload);
+        let (idx, val) = decode(payload);
         scatter_into(out, &idx, &val, inv);
     }
 }
@@ -52,20 +59,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pack_unpack_roundtrip_exact_indices() {
+    fn encode_decode_roundtrip_exact_indices() {
         let idx = vec![0u32, 1, 65_537, 4_000_000_000];
         let val = vec![0.5f32, -1.25, 3.0, f32::MIN_POSITIVE];
-        let buf = pack(&idx, &val);
-        let (i2, v2) = unpack(&buf);
+        let payload = encode(&idx, &val);
+        assert_eq!(payload.bits(), PAIR_BITS * idx.len() as u64);
+        let (i2, v2) = decode(&payload);
         assert_eq!(i2, idx);
         assert_eq!(v2, val);
     }
 
     #[test]
+    fn empty_selection_is_an_empty_frame() {
+        let payload = encode(&[], &[]);
+        assert_eq!(payload.byte_len(), 0);
+        let (i, v) = decode(&payload);
+        assert!(i.is_empty() && v.is_empty());
+    }
+
+    #[test]
     fn average_gathered_matches_dense_average() {
         // Two workers with overlapping sparse supports.
-        let w0 = pack(&[0, 2], &[2.0, 4.0]);
-        let w1 = pack(&[2, 3], &[6.0, 8.0]);
+        let w0 = encode(&[0, 2], &[2.0, 4.0]);
+        let w1 = encode(&[2, 3], &[6.0, 8.0]);
         let mut out = vec![0.0f32; 5];
         average_gathered(&mut out, &[w0, w1]);
         assert_eq!(out, vec![1.0, 0.0, 5.0, 4.0, 0.0]);
@@ -73,7 +89,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn odd_payload_rejected() {
-        let _ = unpack(&[1.0, 2.0, 3.0]);
+    fn misaligned_frame_rejected() {
+        let _ = decode(&Payload::Bytes(vec![0u8; 12]));
     }
 }

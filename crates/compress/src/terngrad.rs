@@ -1,12 +1,16 @@
 //! TernGrad ternary quantization (Wen et al., paper ref [20]).
 
+use crate::elias::{BitReader, BitWriter};
 use crate::{GradientSynchronizer, SyncStats};
-use cluster_comm::CommHandle;
+use cluster_comm::{CommHandle, Payload};
 use mini_tensor::rng::SeedRng;
 use std::time::Instant;
 
 /// Quantizes each coordinate to `{−s, 0, +s}` with `s = max|g|` and
-/// `P(±s) = |g_i|/s` — unbiased, ~1.58 bits per coordinate on the wire.
+/// `P(±s) = |g_i|/s` — unbiased. The wire frame bit-packs each ternary
+/// digit into 2 bits next to the 32-bit scale (the information-theoretic
+/// log₂3 ≈ 1.585 bits/coordinate would need arithmetic coding; the fixed
+/// 2-bit pack is what actually crosses the socket).
 pub struct TernGrad {
     rng: SeedRng,
 }
@@ -29,6 +33,53 @@ impl TernGrad {
         }
         s
     }
+
+    /// Encodes a ternarized gradient into its wire frame: 4 bytes of
+    /// scale, then 2 bits per coordinate (`00` = 0, `01` = +s, `10` = −s),
+    /// final byte zero-padded.
+    pub fn encode_payload(scale: f32, tern: &[f32]) -> Payload {
+        let mut w = BitWriter::new();
+        for &v in tern {
+            let code: u64 = if v > 0.0 {
+                0b01
+            } else if v < 0.0 {
+                0b10
+            } else {
+                0b00
+            };
+            w.push_bits(code, 2);
+        }
+        crate::elias::scaled_stream_payload(scale, &w)
+    }
+
+    /// Folds a peer's frame into `acc`: `acc[i] += decode(i) · weight` —
+    /// the decode-and-average step without materialising a temporary
+    /// vector.
+    pub fn accumulate_payload(payload: &Payload, acc: &mut [f32], weight: f32) {
+        let (scale, stream) = crate::elias::split_scaled_stream(payload);
+        let mut r = BitReader::new(stream, 8 * stream.len());
+        for a in acc.iter_mut() {
+            match r.read_bits(2).expect("truncated ternary stream") {
+                0b01 => *a += scale * weight,
+                0b10 => *a -= scale * weight,
+                _ => {}
+            }
+        }
+    }
+
+    /// Decodes a peer's frame back to `{−s, 0, +s}` values (`n` = model
+    /// size, known identically on every SPMD rank).
+    pub fn decode_payload(payload: &Payload, n: usize) -> Vec<f32> {
+        let (scale, stream) = crate::elias::split_scaled_stream(payload);
+        let mut r = BitReader::new(stream, 8 * stream.len());
+        (0..n)
+            .map(|_| match r.read_bits(2).expect("truncated ternary stream") {
+                0b01 => scale,
+                0b10 => -scale,
+                _ => 0.0,
+            })
+            .collect()
+    }
 }
 
 impl GradientSynchronizer for TernGrad {
@@ -38,25 +89,25 @@ impl GradientSynchronizer for TernGrad {
 
     fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
         let t0 = Instant::now();
-        let _s = self.ternarize(grad);
+        let s = self.ternarize(grad);
+        let payload = Self::encode_payload(s, grad);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
-        // Exchange ternarized gradients; log₂3 ≈ 1.585 bits/coordinate.
-        let wire_bits = self.wire_bits_formula(grad.len());
-        comm.allreduce_sum_with(
-            grad,
-            cluster_comm::CollectiveAlgo::Auto,
-            Some(wire_bits as f64 / 8.0),
-        );
-        let inv = 1.0 / comm.world() as f32;
-        for v in grad.iter_mut() {
-            *v *= inv;
+
+        // Exchange the 2-bit packs; decode every peer's frame straight into
+        // the accumulating gradient (no per-peer temporaries).
+        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
+        let inv = 1.0 / gathered.len() as f32;
+        grad.fill(0.0);
+        for frame in &gathered {
+            Self::accumulate_payload(frame, grad, inv);
         }
         SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {
-        (1.585 * n as f64).round() as u64 + 32
+        // 2-bit pack + 32-bit scale, padded to whole bytes on the wire.
+        8 * (2 * n as u64).div_ceil(8) + 32
     }
 
     fn complexity(&self) -> &'static str {
@@ -98,6 +149,19 @@ mod tests {
             let mean = a / trials as f64;
             assert!((mean - g0[i] as f64).abs() < 0.03, "coord {i}: {mean} vs {}", g0[i]);
         }
+    }
+
+    #[test]
+    fn wire_payload_roundtrips_exactly() {
+        let mut tg = TernGrad::new(5);
+        let mut rng = SeedRng::new(6);
+        let mut g: Vec<f32> = (0..777).map(|_| rng.randn()).collect();
+        let s = tg.ternarize(&mut g);
+        let payload = TernGrad::encode_payload(s, &g);
+        assert_eq!(payload.byte_len() as u64, 4 + (2 * g.len() as u64).div_ceil(8));
+        let back = TernGrad::decode_payload(&payload, g.len());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&g), "2-bit pack must be lossless on ternary data");
     }
 
     #[test]

@@ -85,19 +85,19 @@ impl GradientSynchronizer for TopK {
         self.kept.fill(0.0);
         sparse::scatter_into(&mut self.kept, &idx, &val, 1.0);
         self.ef.absorb(&self.acc, &self.kept);
-        let payload = sparse::pack(&idx, &val);
+        // Encode: k (u32 idx, f32 val) records — 64k bits on the wire.
+        let payload = sparse::encode(&idx, &val);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        // Exchange: allgather of k values — modeled at the paper's 32k bits.
-        let wire_bytes = 4.0 * self.k as f64;
-        let gathered = comm.allgather(&payload, Some(wire_bytes));
+        // Exchange + decode: the encoded frame itself is gathered.
+        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
         sparse::average_gathered(grad, &gathered);
-        SyncStats { compress_seconds, wire_bits: self.wire_bits_formula(grad.len()) }
+        SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
-        32 * self.k as u64
+        sparse::PAIR_BITS * self.k as u64
     }
 
     fn complexity(&self) -> &'static str {
@@ -139,7 +139,7 @@ mod tests {
             }
             stats.wire_bits
         });
-        assert!(out.iter().all(|&b| b == 32 * 5));
+        assert!(out.iter().all(|&b| b == 64 * 5));
     }
 
     #[test]

@@ -75,23 +75,24 @@ proptest! {
     }
 
     #[test]
-    fn sparse_pack_unpack_roundtrips(pairs in prop::collection::vec((0u32..1_000_000, -5.0f32..5.0), 0..64)) {
+    fn sparse_encode_decode_roundtrips(pairs in prop::collection::vec((0u32..1_000_000, -5.0f32..5.0), 0..64)) {
         let idx: Vec<u32> = pairs.iter().map(|p| p.0).collect();
         let val: Vec<f32> = pairs.iter().map(|p| p.1).collect();
-        let buf = sparse::pack(&idx, &val);
-        let (i2, v2) = sparse::unpack(&buf);
+        let payload = sparse::encode(&idx, &val);
+        prop_assert_eq!(payload.bits(), sparse::PAIR_BITS * idx.len() as u64);
+        let (i2, v2) = sparse::decode(&payload);
         prop_assert_eq!(i2, idx);
         prop_assert_eq!(v2, val);
     }
 
     #[test]
     fn average_gathered_is_linear_in_workers(g in small_grad(32)) {
-        // Gathering the SAME payload P times averages back to itself.
+        // Gathering the SAME frame P times averages back to itself.
         let n = g.len();
         let idx: Vec<u32> = (0..n as u32).collect();
-        let payload = sparse::pack(&idx, &g);
+        let payload = sparse::encode(&idx, &g);
         for p in [1usize, 2, 5] {
-            let gathered: Vec<Vec<f32>> = (0..p).map(|_| payload.clone()).collect();
+            let gathered: Vec<_> = (0..p).map(|_| payload.clone()).collect();
             let mut out = vec![0.0f32; n];
             sparse::average_gathered(&mut out, &gathered);
             for (a, b) in out.iter().zip(&g) {

@@ -119,7 +119,9 @@ mod tests {
             let bits = sync.wire_bits_formula(n);
             match kind {
                 AlgoKind::Dense => assert_eq!(bits, 32 * n as u64),
-                AlgoKind::TopK(_) | AlgoKind::GaussianK(_) => assert_eq!(bits, 32 * 100),
+                // Sparse frames carry (u32 idx, f32 val) records: 64 bits
+                // per kept coordinate — the size that crosses the socket.
+                AlgoKind::TopK(_) | AlgoKind::GaussianK(_) => assert_eq!(bits, 64 * 100),
                 AlgoKind::Qsgd(_) => assert_eq!(bits, (2.8 * n as f64) as u64 + 32),
                 AlgoKind::A2sgd => assert_eq!(bits, 64),
                 _ => unreachable!(),

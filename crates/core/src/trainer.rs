@@ -207,11 +207,13 @@ fn build_report(cfg: &TrainConfig, w0: &WorkerOut, divergence: f64) -> TrainRepo
 /// Runs the experiment.
 ///
 /// On the in-proc backend this spawns `cfg.workers` thread ranks and
-/// returns worker 0's report (divergence maxed across ranks). On the TCP
-/// backend the calling process is one rank of an externally-launched
-/// cluster (see `cluster_comm::run_multiprocess`): the report describes
-/// *this* rank — evaluation metrics are only populated on rank 0, and
-/// `replica_divergence` is rank-local.
+/// returns worker 0's report. On the TCP backend the calling process is
+/// one rank of an externally-launched cluster (see
+/// `cluster_comm::run_multiprocess`). Either way the report's shared
+/// scalars agree on every rank: `replica_divergence` is allreduced (max)
+/// and rank 0's evaluation metrics are broadcast before the workers
+/// return, so a TCP rank no longer reports rank-local numbers
+/// (`train_loss` remains each rank's own shard loss).
 pub fn train(cfg: &TrainConfig) -> TrainReport {
     assert!(cfg.workers >= 1 && cfg.epochs >= 1 && cfg.batch_per_worker >= 1);
     let cfg = cfg.clone();
@@ -360,6 +362,23 @@ fn run_worker(
         div = div.max((a - b).abs() as f64);
     }
     load_params(model.as_mut(), &flat);
+
+    // ---- cross-rank report agreement -------------------------------------
+    // The report scalars must agree on every rank (on TCP each rank is its
+    // own process and would otherwise return rank-local numbers): the
+    // divergence is maxed across ranks, and rank 0's per-epoch evaluation
+    // metrics — only rank 0 evaluates — are broadcast to everyone. Both
+    // travel as f64 bit patterns in the lossless u64 wire lane.
+    let div = comm
+        .allgather(&[div.to_bits()])
+        .iter()
+        .map(|v| f64::from_bits(v[0]))
+        .fold(0.0f64, f64::max);
+    let mut metric_bits: Vec<u64> = epochs.iter().map(|e| e.metric.to_bits()).collect();
+    comm.broadcast(0, &mut metric_bits);
+    for (e, &m) in epochs.iter_mut().zip(&metric_bits) {
+        e.metric = f64::from_bits(m);
+    }
 
     WorkerOut {
         epochs,

@@ -42,7 +42,10 @@ impl GradientSynchronizer for A2sgdAllgather {
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        let gathered = comm.allgather(&[means.mu_pos, means.mu_neg], Some(8.0));
+        // The f32-lane variant of the exchange: two dense f32 means per
+        // rank — the same 64 wire bits as the packed-u64 packet.
+        let (gathered, wire_bits) =
+            gradcomp::wire_bits_of(comm, |c| c.allgather(&[means.mu_pos, means.mu_neg]));
         let inv = 1.0 / gathered.len() as f32;
         let (mut gp, mut gn) = (0.0f32, 0.0f32);
         for pair in &gathered {
@@ -50,7 +53,7 @@ impl GradientSynchronizer for A2sgdAllgather {
             gn += pair[1];
         }
         restore_with_global_means(grad, &mask, gp * inv, gn * inv);
-        SyncStats { compress_seconds, wire_bits: 64 }
+        SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
@@ -93,8 +96,12 @@ impl GradientSynchronizer for A2sgdCarry {
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
+        // The reducible f32 path: two means, recursive doubling — their
+        // 8 payload bytes are the wire encoding, no override needed.
         let mut payload = [means.mu_pos, means.mu_neg];
-        comm.allreduce_sum_with(&mut payload, CollectiveAlgo::RecursiveDoubling, Some(8.0));
+        let (_, wire_bits) = gradcomp::wire_bits_of(comm, |c| {
+            c.allreduce_sum_with(&mut payload, CollectiveAlgo::RecursiveDoubling)
+        });
         let inv = 1.0 / comm.world() as f32;
         let (gp, gn) = (payload[0] * inv, payload[1] * inv);
         // The update this worker applies is enc with global means, using
@@ -102,7 +109,7 @@ impl GradientSynchronizer for A2sgdCarry {
         let mask = crate::mean2::SignMask::capture(&self.acc);
         grad.fill(0.0);
         restore_with_global_means(grad, &mask, gp, gn);
-        SyncStats { compress_seconds, wire_bits: 64 }
+        SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
@@ -188,11 +195,9 @@ impl GradientSynchronizer for KLevelSgd {
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        comm.allreduce_sum_with(
-            &mut means,
-            CollectiveAlgo::RecursiveDoubling,
-            Some(4.0 * 2.0 * l as f64),
-        );
+        let (_, wire_bits) = gradcomp::wire_bits_of(comm, |c| {
+            c.allreduce_sum_with(&mut means, CollectiveAlgo::RecursiveDoubling)
+        });
         let inv = 1.0 / comm.world() as f32;
         for m in means.iter_mut() {
             *m *= inv;
@@ -201,7 +206,7 @@ impl GradientSynchronizer for KLevelSgd {
             let b = bucket[i] as usize;
             *v += if b < l { means[b] } else { -means[b] };
         }
-        SyncStats { compress_seconds, wire_bits: 64 * l as u64 }
+        SyncStats { compress_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {

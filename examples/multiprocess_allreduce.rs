@@ -3,15 +3,16 @@
 //!
 //! Forks `A2SGD_WORLD` (default 4) rank processes of this binary, runs the
 //! torchrun-style rendezvous on 127.0.0.1, and compares two exchanges:
-//! a dense gradient allreduce and A2SGD's two-means packet, printing the
-//! *measured* per-rank traffic for each.
+//! a dense gradient allreduce and A2SGD's packed-u64 two-means packet,
+//! printing the *measured* per-rank traffic for each.
 //!
 //! ```text
 //! A2SGD_WORLD=4 cargo run --release --example multiprocess_allreduce
 //! ```
 
+use a2sgd_repro::a2sgd::algorithm::A2sgd;
 use a2sgd_repro::cluster_comm::transport::wire::FRAME_HEADER_BYTES;
-use a2sgd_repro::cluster_comm::{run_cluster_tcp, tcp_child_rank, CollectiveAlgo};
+use a2sgd_repro::cluster_comm::{run_cluster_tcp, tcp_child_rank, CollectiveAlgo, Payload};
 
 const DENSE_N: usize = 16_384; // a 64 KiB "gradient"
 
@@ -26,13 +27,19 @@ fn main() {
         // Dense baseline: every rank contributes a full gradient.
         let mut dense: Vec<f32> =
             (0..DENSE_N).map(|i| (rank * DENSE_N + i) as f32 * 1e-6).collect();
-        h.allreduce_sum_with(&mut dense, CollectiveAlgo::Ring, None);
+        h.allreduce_sum_with(&mut dense, CollectiveAlgo::Ring);
         let dense_stats = h.stats();
         h.reset_stats();
 
-        // A2SGD: the whole per-iteration exchange is one 64-bit packet.
-        let mut packet = vec![0.5 + rank as f32, -0.25];
-        h.allreduce_sum_with(&mut packet, CollectiveAlgo::RecursiveDoubling, Some(8.0));
+        // A2SGD: the whole per-iteration exchange is one packed u64.
+        let word = A2sgd::encode_means(0.5 + rank as f32, -0.25);
+        let gathered = h.allgather_bytes(Payload::PackedU64(vec![word]));
+        let mut packet = [0.0f32, 0.0];
+        for frame in gathered {
+            let (p, n) = A2sgd::decode_means(frame.expect_u64()[0]);
+            packet[0] += p;
+            packet[1] += n;
+        }
         let packet_stats = h.stats();
 
         vec![
@@ -59,8 +66,8 @@ fn main() {
         assert_eq!(r[2], expect_packet0, "rank {rank} packet sum");
         assert_eq!(r[3], -0.25 * wf, "rank {rank} packet sum");
         assert_eq!(r[7], 64.0, "rank {rank}: A2SGD logical payload must be 64 bits");
-        // Measured on the socket: every frame of the packet allreduce is
-        // the 64-bit payload plus the fixed header.
+        // Measured on the socket: every frame of the packet gather is the
+        // 64-bit packed-u64 payload plus the fixed header.
         assert_eq!(r[5], r[6] * (8 + FRAME_HEADER_BYTES) as f32, "rank {rank} framing");
         assert!(r[4] > 100.0 * r[5], "dense should dwarf the A2SGD packet on the wire");
     }

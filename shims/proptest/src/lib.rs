@@ -112,6 +112,12 @@ pub mod strategy {
         }
     }
 
+    impl Arbitrary for u8 {
+        fn arbitrary_sample(rng: &mut TestRng) -> u8 {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+
     impl<T: Arbitrary> Strategy for Any<T> {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {

@@ -7,7 +7,7 @@ use a2sgd::registry::AlgoKind;
 use a2sgd::trainer::train;
 use a2sgd_repro::cluster_comm::{
     run_cluster, run_cluster_tcp, run_multiprocess, CollectiveAlgo, CommBackend, CommHandle,
-    NetworkProfile,
+    NetworkProfile, Payload,
 };
 use mini_nn::models::ModelKind;
 
@@ -70,14 +70,20 @@ fn collective_workload(h: &mut CommHandle) -> Vec<f32> {
     let mut out = Vec::new();
     for algo in [CollectiveAlgo::Ring, CollectiveAlgo::RecursiveDoubling, CollectiveAlgo::Auto] {
         let mut d = input(h.rank(), 41);
-        h.allreduce_sum_with(&mut d, algo, None);
+        h.allreduce_sum_with(&mut d, algo);
         out.extend_from_slice(&d);
     }
     let mut b = if h.rank() == 0 { input(17, 9) } else { vec![0.0f32; 9] };
     h.broadcast(0, &mut b);
     out.extend_from_slice(&b);
-    for part in h.allgather(&input(h.rank(), 5), None) {
+    for part in h.allgather(&input(h.rank(), 5)) {
         out.extend_from_slice(&part);
+    }
+    // Opaque encoded frames (the compressed-gradient path) must also be
+    // backend-independent, byte for byte.
+    let frame = Payload::Bytes((0..3 + h.rank() as u8).map(|b| b.wrapping_mul(41)).collect());
+    for p in h.allgather_bytes(frame) {
+        out.extend(p.expect_bytes().into_iter().map(|b| b as f32));
     }
     h.barrier();
     out
@@ -114,7 +120,10 @@ fn tcp_multiprocess_collectives_match_inproc() {
 /// Full-stack version of the same invariant: an entire A2SGD training run
 /// on the TCP backend (2 rank processes) must reproduce the in-proc loss
 /// curve bit-for-bit — data synthesis, sharding, compression and the
-/// collectives all line up across real sockets.
+/// collectives all line up across real sockets. The report scalars
+/// (divergence, evaluation metric) must also agree *across TCP ranks*:
+/// they are reduced/broadcast at the end of training instead of being
+/// rank-local.
 #[test]
 fn tcp_multiprocess_training_matches_inproc() {
     let base = cfg(AlgoKind::A2sgd, 2, 6);
@@ -126,13 +135,27 @@ fn tcp_multiprocess_training_matches_inproc() {
             let rep = train(&c);
             let mut out: Vec<f32> = rep.epochs.iter().map(|e| e.train_loss as f32).collect();
             out.push(rep.wire_bits_per_iter as f32);
+            out.push(rep.replica_divergence as f32);
+            out.push(rep.final_metric as f32);
             out
         });
     let rep = train(&base); // in-proc reference, rank 0's losses
     let mut expect: Vec<f32> = rep.epochs.iter().map(|e| e.train_loss as f32).collect();
     expect.push(rep.wire_bits_per_iter as f32);
+    expect.push(rep.replica_divergence as f32);
+    expect.push(rep.final_metric as f32);
     assert_eq!(bits(&tcp[0]), bits(&expect), "TCP training diverged from in-proc");
-    assert_eq!(tcp[0].last().copied(), Some(64.0), "A2SGD wire bits over TCP");
+    let n = tcp[0].len();
+    assert_eq!(tcp[0][n - 3], 64.0, "A2SGD wire bits over TCP");
+    // Rank 1's shard losses differ, but the agreed report scalars must be
+    // bit-identical to rank 0's (and to the in-proc run's).
+    assert_eq!(
+        bits(&tcp[1][n - 3..]),
+        bits(&tcp[0][n - 3..]),
+        "TCP ranks disagree on reduced report scalars"
+    );
+    assert!(tcp[0][n - 2] > 0.0, "A2SGD must report positive replica divergence");
+    assert!(tcp[0][n - 1] > 30.0, "broadcast eval metric should reach every rank");
 }
 
 #[test]
