@@ -50,10 +50,13 @@ fn main() {
             let cfg = scaled_convergence_config(model, algo, workers, 17);
             let rep = train(&cfg);
             eprintln!(
-                "  {} final {metric_name} = {:.2} (wire {} bits/iter/worker)",
+                "  {} final {metric_name} = {:.2} (wire {} bits/iter/worker, \
+                 t_compress {:.1}µs + t_exchange {:.1}µs /iter)",
                 algo.name(),
                 rep.final_metric,
-                rep.wire_bits_per_iter
+                rep.wire_bits_per_iter,
+                rep.avg_compress_seconds * 1e6,
+                rep.avg_exchange_seconds * 1e6
             );
             curves.push((algo.name().to_string(), rep.epochs.iter().map(|e| e.metric).collect()));
         }

@@ -24,7 +24,7 @@
 
 use crate::cost::CostModel;
 use crate::transport::wire::{Payload, PayloadRef};
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportError};
 use std::time::Instant;
 
 /// A scalar type a [`Payload`] frame can carry.
@@ -147,13 +147,26 @@ pub struct CommHandle {
     clock_s: f64,
     stats: TrafficStats,
     op_seq: u64,
+    /// Nonblocking collectives started but not yet waited (see
+    /// [`crate::nonblocking`]) and the high-water mark — the tag
+    /// accounting that proves frames actually overlap in flight.
+    inflight: usize,
+    max_inflight: usize,
 }
 
 impl CommHandle {
     /// Wraps a transport. `cost` enables the modeled-time overlay; it
     /// requires a transport with a shared simulated clock (in-proc).
     pub fn new(transport: Box<dyn Transport>, cost: Option<CostModel>) -> Self {
-        CommHandle { transport, cost, clock_s: 0.0, stats: TrafficStats::default(), op_seq: 0 }
+        CommHandle {
+            transport,
+            cost,
+            clock_s: 0.0,
+            stats: TrafficStats::default(),
+            op_seq: 0,
+            inflight: 0,
+            max_inflight: 0,
+        }
     }
 
     /// Builds a measured-time TCP handle from the `A2SGD_RANK` /
@@ -207,15 +220,68 @@ impl CommHandle {
         self.stats = TrafficStats::default();
     }
 
-    // -- internals ---------------------------------------------------------
-
-    fn send_payload(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) {
-        self.stats.bytes_sent += payload.byte_len() as u64;
-        self.stats.wire_bytes += self.transport.send_bytes(to, tag, payload);
-        self.stats.messages += 1;
+    /// Nonblocking collectives currently started but not completed.
+    pub fn inflight(&self) -> usize {
+        self.inflight
     }
 
-    fn recv_payload(&mut self, from: usize, tag: u64) -> Payload {
+    /// High-water mark of concurrently in-flight nonblocking collectives
+    /// since construction — ≥ 2 is the proof that a pipelined caller
+    /// actually overlapped exchanges instead of serializing them.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    pub(crate) fn inflight_inc(&mut self) {
+        self.inflight += 1;
+        self.max_inflight = self.max_inflight.max(self.inflight);
+    }
+
+    pub(crate) fn inflight_dec(&mut self) {
+        self.inflight -= 1;
+    }
+
+    /// Sends on the blocking collective paths, where a dead peer is not
+    /// survivable: the typed transport error becomes a diagnosable panic.
+    /// The nonblocking handles use [`Self::try_send_payload`] instead and
+    /// propagate the error.
+    pub(crate) fn send_payload(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) {
+        self.try_send_payload(to, tag, payload).unwrap_or_else(|e| panic!("collective send: {e}"));
+    }
+
+    pub(crate) fn try_send_payload(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: PayloadRef<'_>,
+    ) -> Result<(), TransportError> {
+        self.stats.bytes_sent += payload.byte_len() as u64;
+        self.stats.wire_bytes += self.transport.send_bytes(to, tag, payload)?;
+        self.stats.messages += 1;
+        Ok(())
+    }
+
+    /// Blocking-path receive: peer loss panics with the typed cause (the
+    /// nonblocking handles propagate it as a `Result` instead).
+    pub(crate) fn recv_payload(&mut self, from: usize, tag: u64) -> Payload {
+        self.transport.recv_bytes(from, tag).unwrap_or_else(|e| panic!("collective recv: {e}"))
+    }
+
+    pub(crate) fn try_recv_payload(
+        &mut self,
+        from: usize,
+        tag: u64,
+    ) -> Result<Option<Payload>, TransportError> {
+        self.transport.try_recv_bytes(from, tag)
+    }
+
+    pub(crate) fn blocking_recv_payload(
+        &mut self,
+        from: usize,
+        tag: u64,
+    ) -> Result<Payload, TransportError> {
         self.transport.recv_bytes(from, tag)
     }
 
@@ -227,9 +293,17 @@ impl CommHandle {
         T::from_payload(self.recv_payload(from, tag))
     }
 
-    fn next_tag(&mut self) -> u64 {
+    pub(crate) fn next_tag(&mut self) -> u64 {
         self.op_seq += 1;
         self.op_seq << 16
+    }
+
+    pub(crate) fn count_logical_bits(&mut self, bits: u64) {
+        self.stats.logical_wire_bits += bits;
+    }
+
+    pub(crate) fn add_clock(&mut self, seconds: f64) {
+        self.clock_s += seconds;
     }
 
     /// The model `Auto` selects algorithms against: the backend's own cost
@@ -237,6 +311,25 @@ impl CommHandle {
     /// (keeping the choice deterministic and backend-independent).
     fn selection_model(&self) -> CostModel {
         self.cost.unwrap_or_else(|| CostModel::new(crate::NetworkProfile::infiniband_100g()))
+    }
+
+    /// Modeled-clock close-out for a collective that measured its own wall
+    /// time separately (the nonblocking handles): on modeled backends all
+    /// ranks meet on the shared simulated clock and pay the analytic cost;
+    /// measured backends do nothing here — the caller already added its
+    /// wall time.
+    pub(crate) fn finish_modeled(
+        &mut self,
+        payload_bytes: f64,
+        cost_of: impl Fn(&CostModel, f64, usize) -> f64,
+    ) {
+        if let Some(model) = self.cost {
+            let (maxc, maxb) = self
+                .transport
+                .clock_exchange(self.clock_s, payload_bytes)
+                .expect("modeled timing requires a clock-exchange transport");
+            self.clock_s = maxc + cost_of(&model, maxb, self.transport.world());
+        }
     }
 
     /// Closes out a collective on the local clock. Modeled backends meet

@@ -29,6 +29,15 @@
 //! compressed gradient crosses the socket at its encoded size and measured
 //! traffic equals the logical accounting.
 //!
+//! Each byte collective (plus the f32 allreduce) also has a **nonblocking**
+//! form ([`nonblocking`]): `start_allreduce`/`start_allgather_bytes`/
+//! `start_exchange_bytes` launch the operation and return a
+//! [`CollectiveHandle`] with `wait()`/`try_complete()`, letting several
+//! tag-matched collectives ride the wire at once while the caller computes
+//! — the communication/compute-overlap substrate behind `gradcomp`'s
+//! bucketed sync sessions. Peer loss surfaces from the nonblocking family
+//! (and the raw transport receives) as a typed [`TransportError`].
+//!
 //! * [`profile::NetworkProfile`] — α (latency) and β (bandwidth) presets,
 //!   including the paper's 100 Gbps InfiniBand.
 //! * [`cost`] — closed-form collective cost functions.
@@ -39,15 +48,17 @@
 
 pub mod collective;
 pub mod cost;
+pub mod nonblocking;
 pub mod profile;
 pub mod sim;
 pub mod transport;
 
 pub use collective::{CollectiveAlgo, CommHandle, Reducible, TrafficStats, WireElem};
 pub use cost::CostModel;
+pub use nonblocking::{CollectiveHandle, CollectiveResult};
 pub use profile::NetworkProfile;
 pub use sim::{run_cluster, Cluster};
 pub use transport::{
     run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank, CommBackend,
-    Payload, PayloadKind, TcpConfig, Transport,
+    Payload, PayloadKind, TcpConfig, Transport, TransportError,
 };

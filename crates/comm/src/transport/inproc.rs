@@ -8,7 +8,7 @@
 //! the Hockney cost model overlay wall time analytically.
 
 use crate::transport::wire::{Payload, PayloadRef};
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportError};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -102,24 +102,38 @@ impl Transport for InProc {
         "inproc"
     }
 
-    fn send_bytes(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) -> u64 {
+    fn send_bytes(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: PayloadRef<'_>,
+    ) -> Result<u64, TransportError> {
         let mb = &self.shared.mailboxes[to];
         let mut q = mb.q.lock();
         q.push(Msg { tag, from: self.rank, data: payload.to_owned() });
         mb.cv.notify_all();
-        // A memcpy has no framing: wire bytes == payload bytes.
-        payload.byte_len() as u64
+        // A memcpy has no framing: wire bytes == payload bytes. Shared
+        // memory has no peer loss either — sends are infallible.
+        Ok(payload.byte_len() as u64)
     }
 
-    fn recv_bytes(&mut self, from: usize, tag: u64) -> Payload {
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Result<Payload, TransportError> {
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.q.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.tag == tag && m.from == from) {
-                return q.swap_remove(pos).data;
+                return Ok(q.swap_remove(pos).data);
             }
             mb.cv.wait(&mut q);
         }
+    }
+
+    fn try_recv_bytes(&mut self, from: usize, tag: u64) -> Result<Option<Payload>, TransportError> {
+        // Mailbox polling: one lock, one scan, no wait — the nonblocking
+        // collectives' progress probe.
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.q.lock();
+        Ok(q.iter().position(|m| m.tag == tag && m.from == from).map(|pos| q.swap_remove(pos).data))
     }
 
     fn barrier(&mut self) -> (u64, u64) {
@@ -154,11 +168,11 @@ mod tests {
         let mut e0 = shared.endpoint(0);
         let mut e1 = shared.endpoint(1);
         let mut e2 = shared.endpoint(2);
-        e1.send_bytes(0, 7, Payload::F32Dense(vec![1.0]).as_ref());
-        e2.send_bytes(0, 7, Payload::F32Dense(vec![2.0]).as_ref());
+        e1.send_bytes(0, 7, Payload::F32Dense(vec![1.0]).as_ref()).unwrap();
+        e2.send_bytes(0, 7, Payload::F32Dense(vec![2.0]).as_ref()).unwrap();
         // Same tag, different sources: recv must disambiguate by rank.
-        assert_eq!(e0.recv_bytes(2, 7).expect_f32(), vec![2.0]);
-        assert_eq!(e0.recv_bytes(1, 7).expect_f32(), vec![1.0]);
+        assert_eq!(e0.recv_bytes(2, 7).unwrap().expect_f32(), vec![2.0]);
+        assert_eq!(e0.recv_bytes(1, 7).unwrap().expect_f32(), vec![1.0]);
     }
 
     #[test]
@@ -166,11 +180,23 @@ mod tests {
         let shared = InProcShared::new(2);
         let mut e0 = shared.endpoint(0);
         let mut e1 = shared.endpoint(1);
-        let sent = e1.send_bytes(0, 1, Payload::PackedU64(vec![0xA2_5D]).as_ref());
+        let sent = e1.send_bytes(0, 1, Payload::PackedU64(vec![0xA2_5D]).as_ref()).unwrap();
         assert_eq!(sent, 8, "memcpy wire bytes == payload bytes");
-        assert_eq!(e0.recv_bytes(1, 1).expect_u64(), vec![0xA2_5D]);
-        e1.send_bytes(0, 2, Payload::Bytes(vec![9, 8, 7]).as_ref());
-        assert_eq!(e0.recv_bytes(1, 2).expect_bytes(), vec![9, 8, 7]);
+        assert_eq!(e0.recv_bytes(1, 1).unwrap().expect_u64(), vec![0xA2_5D]);
+        e1.send_bytes(0, 2, Payload::Bytes(vec![9, 8, 7]).as_ref()).unwrap();
+        assert_eq!(e0.recv_bytes(1, 2).unwrap().expect_bytes(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let shared = InProcShared::new(2);
+        let mut e0 = shared.endpoint(0);
+        let mut e1 = shared.endpoint(1);
+        assert!(e0.try_recv_bytes(1, 9).unwrap().is_none(), "nothing sent yet");
+        e1.send_bytes(0, 9, Payload::Bytes(vec![3]).as_ref()).unwrap();
+        let got = e0.try_recv_bytes(1, 9).unwrap().expect("frame arrived");
+        assert_eq!(got.expect_bytes(), vec![3]);
+        assert!(e0.try_recv_bytes(1, 9).unwrap().is_none(), "frame consumed");
     }
 
     #[test]

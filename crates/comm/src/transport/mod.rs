@@ -32,13 +32,66 @@ pub use launch::{run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp
 pub use tcp::{Tcp, TcpConfig};
 pub use wire::{Payload, PayloadKind, PayloadRef};
 
+/// Typed peer-loss/IO failure on a transport link — the first slice of the
+/// elastic/fault-handling roadmap item. A dead rank used to surface as an
+/// opaque panic deep inside a reader thread; now `recv_bytes`,
+/// `try_recv_bytes` and the nonblocking collective `wait()`/`try_complete()`
+/// return this, naming the rank, the peer, the awaited tag and the
+/// underlying cause (clean EOF vs reset vs protocol desync) so a failed
+/// step is diagnosable. Restart/shrink policies on top remain future work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The link to `peer` ended (EOF, reset or stream desync) while rank
+    /// `rank` was still expecting traffic on it.
+    PeerClosed {
+        /// The observing rank.
+        rank: usize,
+        /// The peer whose link died.
+        peer: usize,
+        /// The tag a receive was waiting for, if any.
+        tag: Option<u64>,
+        /// Underlying cause as reported by the OS/codec.
+        cause: String,
+    },
+    /// An I/O error while pushing bytes toward `peer` (send path).
+    SendFailed {
+        /// The observing rank.
+        rank: usize,
+        /// The peer being written to.
+        peer: usize,
+        /// Underlying cause.
+        cause: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::PeerClosed { rank, peer, tag, cause } => match tag {
+                Some(t) => write!(
+                    f,
+                    "rank {rank}: link to rank {peer} closed while awaiting tag {t:#x} ({cause})"
+                ),
+                None => write!(f, "rank {rank}: link to rank {peer} closed ({cause})"),
+            },
+            TransportError::SendFailed { rank, peer, cause } => {
+                write!(f, "rank {rank}: send to rank {peer} failed ({cause})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// A point-to-point data plane the collectives run over.
 ///
-/// The contract mirrors a minimal MPI: tagged blocking send/recv of typed
-/// byte frames ([`Payload`]) between ranks plus a full barrier.
+/// The contract mirrors a minimal MPI: tagged send/recv of typed byte
+/// frames ([`Payload`]) between ranks plus a full barrier.
 /// Implementations must deliver frames between a given (sender, receiver)
 /// pair in send order; the collectives only ever post receives whose source
 /// rank is determined by the algorithm, so no wildcard receive exists.
+/// `try_recv_bytes` is the nonblocking probe the handle-based collectives
+/// poll — it must never block.
 pub trait Transport: Send {
     /// This endpoint's rank.
     fn rank(&self) -> usize;
@@ -53,11 +106,25 @@ pub trait Transport: Send {
     /// caller's borrowed buffers ([`PayloadRef`] — no send-side copy on
     /// real networks). Returns the number of bytes actually put on the
     /// wire — payload plus framing overhead for real networks, bare
-    /// payload bytes for the in-process memcpy.
-    fn send_bytes(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) -> u64;
+    /// payload bytes for the in-process memcpy. Sends are required to
+    /// complete without waiting for the receiver to post a matching
+    /// receive (mailbox push / drained socket write), which is what makes
+    /// the nonblocking collectives launch-and-forget safe.
+    fn send_bytes(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: PayloadRef<'_>,
+    ) -> Result<u64, TransportError>;
 
     /// Blocking receive of the frame carrying `tag` from rank `from`.
-    fn recv_bytes(&mut self, from: usize, tag: u64) -> Payload;
+    /// A dead link surfaces as [`TransportError::PeerClosed`], not a hang.
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Result<Payload, TransportError>;
+
+    /// Nonblocking probe for the frame carrying `tag` from rank `from`:
+    /// `Ok(Some)` when it already arrived, `Ok(None)` when it has not,
+    /// `Err` when the link is dead and the frame can never arrive.
+    fn try_recv_bytes(&mut self, from: usize, tag: u64) -> Result<Option<Payload>, TransportError>;
 
     /// Blocks until every rank has entered the barrier. Returns the
     /// `(frames, wire_bytes)` this rank's barrier traffic put on the wire

@@ -33,7 +33,7 @@
 //! counted as they hit the socket and time is whatever the wall clock says.
 
 use crate::transport::wire::{self, Payload, PayloadRef};
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -312,14 +312,22 @@ impl Transport for Tcp {
         "tcp"
     }
 
-    fn send_bytes(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) -> u64 {
+    fn send_bytes(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: PayloadRef<'_>,
+    ) -> Result<u64, TransportError> {
+        let rank = self.rank;
+        let failed =
+            |e: std::io::Error| TransportError::SendFailed { rank, peer: to, cause: e.to_string() };
         let w = &mut self.peer(to).writer;
-        let n = wire::write_frame(w, tag, payload).expect("TCP send failed");
-        w.flush().expect("TCP flush failed");
-        n
+        let n = wire::write_frame(w, tag, payload).map_err(failed)?;
+        w.flush().map_err(failed)?;
+        Ok(n)
     }
 
-    fn recv_bytes(&mut self, from: usize, tag: u64) -> Payload {
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Result<Payload, TransportError> {
         let me = self.rank;
         let inbox = &self.peers[from]
             .as_ref()
@@ -328,22 +336,50 @@ impl Transport for Tcp {
         let mut st = inbox.state.lock();
         loop {
             if let Some(pos) = st.frames.iter().position(|(t, _)| *t == tag) {
-                return st.frames.remove(pos).unwrap().1;
+                return Ok(st.frames.remove(pos).unwrap().1);
             }
             if let Some(cause) = &st.closed {
-                panic!(
-                    "rank {me}: connection to rank {from} closed while awaiting tag {tag:#x} \
-                     ({cause})"
-                );
+                return Err(TransportError::PeerClosed {
+                    rank: me,
+                    peer: from,
+                    tag: Some(tag),
+                    cause: cause.clone(),
+                });
             }
             inbox.cv.wait(&mut st);
         }
+    }
+
+    fn try_recv_bytes(&mut self, from: usize, tag: u64) -> Result<Option<Payload>, TransportError> {
+        let me = self.rank;
+        let inbox = &self.peers[from]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no link rank {me} -> {from}"))
+            .inbox;
+        let mut st = inbox.state.lock();
+        if let Some(pos) = st.frames.iter().position(|(t, _)| *t == tag) {
+            return Ok(Some(st.frames.remove(pos).unwrap().1));
+        }
+        // Drained and dead ⇒ the frame can never arrive: fail now rather
+        // than letting a later blocking wait discover it.
+        if let Some(cause) = &st.closed {
+            return Err(TransportError::PeerClosed {
+                rank: me,
+                peer: from,
+                tag: Some(tag),
+                cause: cause.clone(),
+            });
+        }
+        Ok(None)
     }
 
     fn barrier(&mut self) -> (u64, u64) {
         // Dissemination barrier: ⌈log₂ world⌉ rounds of empty frames, each
         // round doubling the hop distance. Tags live in the reserved
         // internal namespace so they never collide with collective traffic.
+        // Peer loss mid-barrier is not recoverable — the cluster cannot
+        // rendezvous without the dead rank — so it stays a (now typed and
+        // diagnosable) panic here.
         self.barrier_seq += 1;
         let base = INTERNAL_TAG | (self.barrier_seq << 8);
         let mut hop = 1usize;
@@ -352,9 +388,12 @@ impl Transport for Tcp {
         while hop < self.world {
             let to = (self.rank + hop) % self.world;
             let from = (self.rank + self.world - hop) % self.world;
-            wire_bytes += self.send_bytes(to, base | round, PayloadRef::Bytes(&[]));
+            wire_bytes += self
+                .send_bytes(to, base | round, PayloadRef::Bytes(&[]))
+                .unwrap_or_else(|e| panic!("barrier send: {e}"));
             frames += 1;
-            let _ = self.recv_bytes(from, base | round);
+            let _ =
+                self.recv_bytes(from, base | round).unwrap_or_else(|e| panic!("barrier recv: {e}"));
             hop <<= 1;
             round += 1;
         }
@@ -402,20 +441,22 @@ mod tests {
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
-                let wire_bytes = t.send_bytes(1, 42, Payload::F32Dense(vec![1.0, 2.0]).as_ref());
+                let wire_bytes =
+                    t.send_bytes(1, 42, Payload::F32Dense(vec![1.0, 2.0]).as_ref()).unwrap();
                 assert_eq!(wire_bytes, wire::frame_wire_bytes(8));
-                let wire_bytes = t.send_bytes(1, 44, Payload::Bytes(vec![7, 8, 9]).as_ref());
+                let wire_bytes =
+                    t.send_bytes(1, 44, Payload::Bytes(vec![7, 8, 9]).as_ref()).unwrap();
                 assert_eq!(wire_bytes, wire::frame_wire_bytes(3));
                 t.barrier();
-                t.recv_bytes(1, 43).expect_u64()
+                t.recv_bytes(1, 43).unwrap().expect_u64()
             });
             let j1 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
-                let got = t.recv_bytes(0, 42).expect_f32();
+                let got = t.recv_bytes(0, 42).unwrap().expect_f32();
                 assert_eq!(got, vec![1.0, 2.0]);
-                assert_eq!(t.recv_bytes(0, 44).expect_bytes(), vec![7, 8, 9]);
+                assert_eq!(t.recv_bytes(0, 44).unwrap().expect_bytes(), vec![7, 8, 9]);
                 t.barrier();
-                t.send_bytes(0, 43, Payload::PackedU64(vec![3]).as_ref());
+                t.send_bytes(0, 43, Payload::PackedU64(vec![3]).as_ref()).unwrap();
                 got
             });
             assert_eq!(j0.join().unwrap(), vec![3]);
@@ -430,18 +471,51 @@ mod tests {
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
-                t.send_bytes(1, 1, Payload::F32Dense(vec![1.0]).as_ref());
-                t.send_bytes(1, 2, Payload::F32Dense(vec![2.0]).as_ref());
+                t.send_bytes(1, 1, Payload::F32Dense(vec![1.0]).as_ref()).unwrap();
+                t.send_bytes(1, 2, Payload::F32Dense(vec![2.0]).as_ref()).unwrap();
             });
             let j1 = s.spawn(move || {
                 let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
                 // Request the second frame first: the first must be parked
                 // in the pending queue, not lost.
-                assert_eq!(t.recv_bytes(0, 2).expect_f32(), vec![2.0]);
-                assert_eq!(t.recv_bytes(0, 1).expect_f32(), vec![1.0]);
+                assert_eq!(t.recv_bytes(0, 2).unwrap().expect_f32(), vec![2.0]);
+                assert_eq!(t.recv_bytes(0, 1).unwrap().expect_f32(), vec![1.0]);
             });
             j0.join().unwrap();
             j1.join().unwrap();
+        });
+    }
+
+    /// The elastic-handling first slice: a dead peer surfaces as a typed
+    /// [`TransportError::PeerClosed`] naming rank, peer, tag and cause —
+    /// from both the blocking receive and the nonblocking probe — instead
+    /// of hanging forever or panicking in a reader thread.
+    #[test]
+    fn dead_peer_is_a_typed_error() {
+        let master = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = master.local_addr().unwrap().to_string();
+        std::thread::scope(|s| {
+            let j0 = s.spawn(move || {
+                let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
+                // Rank 1 exits without sending: the blocking receive must
+                // observe the EOF and fail with the peer's identity.
+                let err = t.recv_bytes(1, 0x42).unwrap_err();
+                match &err {
+                    TransportError::PeerClosed { rank, peer, tag, .. } => {
+                        assert_eq!((*rank, *peer, *tag), (0, 1, Some(0x42)));
+                    }
+                    other => panic!("expected PeerClosed, got {other:?}"),
+                }
+                assert!(err.to_string().contains("rank 0"), "{err}");
+                // The probe agrees once the link is known dead.
+                assert!(t.try_recv_bytes(1, 0x43).is_err());
+            });
+            let j1 = s.spawn(move || {
+                let t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
+                drop(t); // shutdown both directions; rank 0 sees EOF
+            });
+            j1.join().unwrap();
+            j0.join().unwrap();
         });
     }
 }

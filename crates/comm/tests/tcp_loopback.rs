@@ -273,3 +273,144 @@ fn tcp_large_frames_cross_the_buffer_boundary() {
     assert_eq!(bits(&tcp[0]), bits(&inproc[0]));
     assert_eq!(bits(&tcp[1]), bits(&inproc[1]));
 }
+
+// ---- nonblocking collectives / bucketed sessions on real sockets ----------
+
+/// The nonblocking family must be bit-identical to its blocking
+/// counterparts on the TCP backend (and by transitivity to in-proc —
+/// `tcp_threads_bit_identical_to_inproc` covers the blocking side).
+#[test]
+fn nonblocking_collectives_match_blocking_on_tcp() {
+    for world in [1usize, 2, 3, 5] {
+        let nb = run_cluster_tcp_threads(world, move |h| {
+            let handle = h.start_allreduce(rank_input(h.rank(), 113, 21));
+            let mut out = handle.wait(h).unwrap().expect_reduced();
+            let own = Payload::Bytes(vec![h.rank() as u8; 2 + h.rank()]);
+            let handle = h.start_allgather_bytes(own);
+            for p in handle.wait(h).unwrap().expect_gathered() {
+                out.extend(p.expect_bytes().into_iter().map(|b| b as f32));
+            }
+            out
+        });
+        let bl = run_cluster_tcp_threads(world, move |h| {
+            let mut out = rank_input(h.rank(), 113, 21);
+            h.allreduce_sum_with(&mut out, CollectiveAlgo::RecursiveDoubling);
+            let own = Payload::Bytes(vec![h.rank() as u8; 2 + h.rank()]);
+            for p in h.allgather_bytes(own) {
+                out.extend(p.expect_bytes().into_iter().map(|b| b as f32));
+            }
+            out
+        });
+        for rank in 0..world {
+            assert_eq!(bits(&nb[rank]), bits(&bl[rank]), "world {world} rank {rank}");
+        }
+    }
+}
+
+/// The acceptance claim for the pipelined session API, measured on real
+/// sockets: a dense multi-bucket step launches every bucket's exchange
+/// before waiting on any — ≥ 2 frames (here: all 8 buckets) concurrently
+/// in flight, tag-matched back out of the shared per-peer streams — and
+/// the result is still bit-identical to the single-shot call.
+#[test]
+fn pipelined_dense_buckets_overlap_on_tcp() {
+    use gradcomp::DenseSgd;
+    let n = 8 * 1024usize;
+    let whole = run_cluster_tcp_threads(2, move |h| {
+        let mut g = rank_input(h.rank(), n, 31);
+        DenseSgd::new().synchronize(&mut g, h);
+        g
+    });
+    let out = run_cluster_tcp_threads(2, move |h| {
+        let mut g = rank_input(h.rank(), n, 31);
+        let bounds: Vec<std::ops::Range<usize>> =
+            (0..8).map(|i| i * (n / 8)..(i + 1) * (n / 8)).collect();
+        DenseSgd::new().sync_bucketed(&mut g, &bounds, h);
+        (g, h.max_inflight(), h.stats())
+    });
+    for (rank, (g, max_inflight, stats)) in out.iter().enumerate() {
+        assert_eq!(bits(g), bits(&whole[rank]), "rank {rank}");
+        assert!(
+            *max_inflight >= 2,
+            "rank {rank}: only {max_inflight} exchange(s) in flight — no overlap"
+        );
+        // Dense payload bytes are identical to single-shot; only the
+        // frame count (one per bucket at world 2) changes.
+        assert_eq!(stats.bytes_sent, 4 * n as u64);
+        assert_eq!(stats.messages, 8);
+        assert_eq!(stats.logical_wire_bits, 32 * n as u64);
+    }
+}
+
+/// Wire parity holds bucket-by-bucket too: a bucketed Top-K step ships
+/// the same 8k payload bytes as single-shot (records are byte-aligned so
+/// cutting adds nothing), just spread over one frame per non-empty bucket.
+#[test]
+fn wire_parity_bucketed_topk_on_loopback() {
+    let n = 1000;
+    let ratio = 0.01; // k = 10
+    let buckets = 4usize;
+    let out = run_cluster_tcp_threads(2, move |h| {
+        let mut tk = TopK::new(n, ratio);
+        let mut g = rank_input(h.rank(), n, 11);
+        let bounds: Vec<std::ops::Range<usize>> =
+            (0..buckets).map(|i| i * (n / buckets)..(i + 1) * (n / buckets)).collect();
+        let stats = tk.sync_bucketed(&mut g, &bounds, h);
+        (h.stats(), stats.wire_bits, tk.k() as u64)
+    });
+    for (rank, (s, wire_bits, k)) in out.iter().enumerate() {
+        assert_eq!(*k, 10);
+        assert_wire_parity(s, &format!("bucketed TopK rank {rank}"));
+        assert_eq!(*wire_bits, 64 * k, "rank {rank}: total payload unchanged by bucketing");
+        // One frame per bucket (empty buckets still ship a header-only
+        // frame at world 2), each counted by the parity law above.
+        assert_eq!(s.messages, buckets as u64);
+    }
+}
+
+/// A handle-based collective on a dead peer fails with a typed transport
+/// error (naming both ranks and the cause) instead of hanging — rank 1
+/// exits immediately, so rank 0's exchange can never complete.
+#[test]
+fn nonblocking_wait_surfaces_peer_loss() {
+    let out = run_cluster_tcp_threads(2, |h| {
+        if h.rank() == 1 {
+            // Exit without participating: dropping the endpoint shuts the
+            // link down and rank 0's reader observes EOF.
+            return true;
+        }
+        let handle = h.start_exchange_bytes(1, &Payload::PackedU64(vec![0xDEAD]));
+        let err = handle.wait(h).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rank 0") && msg.contains("rank 1"), "{msg}");
+        assert_eq!(h.inflight(), 0, "failed handle must release its in-flight slot");
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// Same peer-loss scenario through the polling path: `try_complete` must
+/// surface the typed error AND release the in-flight slot, so a caller
+/// that drops the failed handle leaves the accounting exact.
+#[test]
+fn try_complete_surfaces_peer_loss_and_releases_slot() {
+    let out = run_cluster_tcp_threads(2, |h| {
+        if h.rank() == 1 {
+            return true; // exit without replying; the link dies
+        }
+        let mut handle = h.start_exchange_bytes(1, &Payload::PackedU64(vec![1]));
+        let err = loop {
+            match handle.try_complete(h) {
+                Ok(true) => panic!("exchange cannot complete: the peer never sent"),
+                Ok(false) => std::thread::yield_now(),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("rank 1"), "{err}");
+        assert_eq!(h.inflight(), 0, "failed handle must release its in-flight slot");
+        drop(handle);
+        assert_eq!(h.inflight(), 0);
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}

@@ -9,6 +9,7 @@ use crate::ef::ErrorFeedback;
 use crate::special::erfinv;
 use crate::{sparse, GradientSynchronizer, SyncStats};
 use cluster_comm::CommHandle;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Gaussian-threshold selection with error feedback and an allgather
@@ -70,11 +71,18 @@ impl GradientSynchronizer for GaussianK {
         "GaussianK"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
         self.acc.copy_from_slice(grad);
         self.ef.apply(&mut self.acc);
 
+        // The threshold is fitted to the whole accumulated gradient —
+        // bucket-independent by construction.
         let t = Self::estimate_threshold(&self.acc, self.k);
         let mut idx = Vec::with_capacity(2 * self.k);
         let mut val = Vec::with_capacity(2 * self.k);
@@ -98,13 +106,12 @@ impl GradientSynchronizer for GaussianK {
         self.kept.fill(0.0);
         sparse::scatter_into(&mut self.kept, &idx, &val, 1.0);
         self.ef.absorb(&self.acc, &self.kept);
-        let payload = sparse::encode(&idx, &val);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
-        sparse::average_gathered(grad, &gathered);
-        SyncStats { compress_seconds, wire_bits }
+        let (wire_bits, exchange_seconds) =
+            sparse::exchange_selected(grad, bounds, comm, &idx, &val);
+        SyncStats { compress_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {

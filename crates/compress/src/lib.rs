@@ -8,16 +8,36 @@
 //! trait.
 //!
 //! Every synchronizer owns its worker-local state (error-feedback memory,
-//! RNG streams) and follows an explicit **encode → exchange → decode**
-//! shape: it encodes its contribution into a typed wire payload
+//! RNG streams) and synchronizes through a **bucketed
+//! encode → async-exchange → decode** pipeline
+//! ([`GradientSynchronizer::sync_bucketed`], driven per step through
+//! [`SyncSession`]): worker-local statistics (selection sets, norms,
+//! scales, means) are computed over the *whole* gradient exactly as in the
+//! one-shot formulation, then the encoded contribution is cut at the
+//! caller's bucket boundaries into typed wire payloads
 //! ([`cluster_comm::Payload`] — Elias-coded QSGD levels, `(u32 idx, f32
-//! val)` sparse records, sign/ternary bit-packs, or plain f32 lanes for the
-//! dense reducible path), ships exactly those bytes through one collective
-//! call, and decodes the peers' frames. Because the encoded payload *is*
-//! what crosses the transport, [`SyncStats::wire_bits`] is derived from the
-//! bytes that actually moved — on the TCP backend, measured
-//! `TrafficStats::wire_bytes` equals these bits (rounded up to whole
-//! bytes) plus the fixed per-frame framing header, nothing more.
+//! val)` sparse records, sign/ternary bit-packs, or plain f32 lanes for
+//! the dense reducible path) and shipped through *nonblocking* collectives
+//! ([`cluster_comm::CommHandle::start_allgather_bytes`] /
+//! [`start_allreduce`](cluster_comm::CommHandle::start_allreduce)): bucket
+//! *i*'s frames are in flight while bucket *i+1* encodes and completed
+//! buckets decode. Because bucket boundaries are a pure function of the
+//! parameter layout and all cross-bucket statistics are global, the result
+//! is **bit-identical to the single-shot call** (`synchronize`, which is
+//! just the whole-model-as-one-bucket adapter) for every bucket cap, on
+//! every backend, at every world size.
+//!
+//! The encoded payload *is* what crosses the transport, so
+//! [`SyncStats::wire_bits`] is derived from the bytes that actually moved
+//! — on the TCP backend, measured `TrafficStats::wire_bytes` equals these
+//! bits (rounded up to whole bytes) plus the fixed per-frame framing
+//! header, nothing more. Bucketing can add a few bytes of honest overhead
+//! (each sub-byte-packed bucket pads to a whole byte and re-ships its
+//! 32-bit scale); the gradient math is unaffected. [`SyncStats`] also
+//! splits the step's cost into `compress_seconds` (encode/decode compute)
+//! and `exchange_seconds` (wall time inside collective calls), so
+//! compression and communication cost are separable in the figure/table
+//! outputs.
 
 pub mod dense;
 pub mod ef;
@@ -25,6 +45,7 @@ pub mod elias;
 pub mod gaussiank;
 pub mod qsgd;
 pub mod randk;
+pub mod session;
 pub mod signsgd;
 pub mod sparse;
 pub mod special;
@@ -35,18 +56,25 @@ pub use dense::DenseSgd;
 pub use gaussiank::GaussianK;
 pub use qsgd::{Qsgd, QsgdImpl};
 pub use randk::RandK;
+pub use session::{bucket_bounds, SyncSession};
 pub use signsgd::SignSgdEf;
 pub use terngrad::TernGrad;
 pub use topk::TopK;
 
 use cluster_comm::CommHandle;
+use std::ops::Range;
 
 /// Per-iteration synchronization accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SyncStats {
-    /// Seconds spent compressing/selecting/encoding on this worker
-    /// (measured wall time).
+    /// Seconds spent compressing/selecting/encoding/decoding on this
+    /// worker (measured wall time).
     pub compress_seconds: f64,
+    /// Seconds of measured wall time spent inside collective calls
+    /// (launch + progress + wait) — the communication side of the step,
+    /// separable from `compress_seconds`. Overlapped network time that no
+    /// call observes is genuinely free and does not appear here.
+    pub exchange_seconds: f64,
     /// Bits this worker's own encoded contribution put on the wire,
     /// derived from the typed payload bytes the collective actually moved
     /// (sub-byte encodings are padded to whole bytes, so this is a
@@ -68,27 +96,60 @@ pub fn wire_bits_of<R>(
 
 /// A distributed gradient-synchronization algorithm.
 ///
-/// `synchronize` replaces the local gradient with the algorithm's global
-/// estimate of the averaged gradient; whatever information is lost must be
-/// handled by the algorithm's own state (e.g. error feedback) so that
-/// training still converges.
+/// [`sync_bucketed`](Self::sync_bucketed) replaces the local gradient with
+/// the algorithm's global estimate of the averaged gradient; whatever
+/// information is lost must be handled by the algorithm's own state (e.g.
+/// error feedback) so that training still converges. The provided
+/// [`synchronize`](Self::synchronize) is the whole-model-as-one-bucket
+/// adapter — the original one-shot API, kept so existing callers compile
+/// unchanged.
 pub trait GradientSynchronizer: Send {
     /// Display name (matches the paper's figure legends).
     fn name(&self) -> &'static str;
 
-    /// Synchronizes `grad` across ranks in place.
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats;
+    /// Synchronizes `grad` across ranks in place, exchanging per `bounds`
+    /// bucket with nonblocking collectives so communication overlaps the
+    /// remaining encode/decode compute.
+    ///
+    /// `bounds` must partition `0..grad.len()` into ascending contiguous
+    /// ranges (see [`bucket_bounds`]). Implementations guarantee the
+    /// result is **bit-identical** for every partition — all cross-bucket
+    /// statistics are computed over the whole gradient first — so bucket
+    /// choice is purely a latency/overlap knob, never a semantics knob.
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats;
+
+    /// One-shot whole-model synchronization: the single-bucket adapter
+    /// over [`sync_bucketed`](Self::sync_bucketed).
+    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let n = grad.len();
+        self.sync_bucketed(grad, std::slice::from_ref(&(0..n)), comm)
+    }
 
     /// Closed-form wire bits per worker for an `n`-parameter model — the
-    /// true size of the algorithm's encoded payload (Table 2 column 3,
-    /// with index/sign overheads the encoding actually carries). For
-    /// deterministic encodings this equals the measured per-iteration
-    /// [`SyncStats::wire_bits`]; for entropy-coded ones (QSGD) it is the
-    /// published expectation.
+    /// true size of the algorithm's encoded payload under whole-model
+    /// exchange (Table 2 column 3, with index/sign overheads the encoding
+    /// actually carries). For deterministic encodings this equals the
+    /// measured single-bucket per-iteration [`SyncStats::wire_bits`]; for
+    /// entropy-coded ones (QSGD) it is the published expectation.
     fn wire_bits_formula(&self, n: usize) -> u64;
 
     /// Asymptotic computation complexity label (Table 2 column 2).
     fn complexity(&self) -> &'static str;
+}
+
+impl dyn GradientSynchronizer + '_ {
+    /// Opens a bucketed synchronization session for one training step —
+    /// the streaming entry point: `submit` buckets as they become ready,
+    /// then [`SyncSession::finish`] drains the exchanges and returns the
+    /// aggregated [`SyncStats`].
+    pub fn begin_step<'s, 'g>(&'s mut self) -> SyncSession<'s, 'g> {
+        SyncSession::begin(self)
+    }
 }
 
 /// Baseline algorithm registry (A2SGD and its variants are added by the

@@ -15,6 +15,7 @@ use crate::elias::{gamma_decode, gamma_encode, gamma_len, BitReader, BitWriter};
 use crate::{GradientSynchronizer, SyncStats};
 use cluster_comm::{CommHandle, Payload};
 use mini_tensor::rng::SeedRng;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Implementation flavour (see module docs).
@@ -129,12 +130,20 @@ impl Qsgd {
     /// coordinate, final byte zero-padded). This is the *actual* byte
     /// stream the transport moves — `ceil(encoded_bits / 8)` bytes.
     pub fn encode_payload(q: &QuantizedGrad) -> Payload {
+        Self::encode_levels_payload(q.norm, &q.levels)
+    }
+
+    /// Encodes one slice of the level stream as its own scale-prefixed
+    /// frame — the per-bucket cut of the wire format (the norm rides with
+    /// every bucket so each frame stays self-describing; the whole-model
+    /// frame is the single-bucket case).
+    pub fn encode_levels_payload(norm: f32, levels: &[i8]) -> Payload {
         let mut w = BitWriter::new();
-        for &l in &q.levels {
+        for &l in levels {
             w.push_bit(l < 0);
             gamma_encode(&mut w, l.unsigned_abs() as u64 + 1);
         }
-        crate::elias::scaled_stream_payload(q.norm, &w)
+        crate::elias::scaled_stream_payload(norm, &w)
     }
 
     /// Decodes a peer's wire frame back into levels (`n` = model size,
@@ -151,28 +160,42 @@ impl GradientSynchronizer for Qsgd {
         "QSGD"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
+        // Quantize the whole gradient once: the ℓ₂ norm and the stochastic
+        // rounding stream are global, so levels never depend on the bucket
+        // partition — only the frame cuts do.
         let q = self.quantize(grad);
-        let payload = Self::encode_payload(&q);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        // Exchange the Elias byte streams themselves.
-        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
-
-        // Decode and average the dequantized contributions.
-        grad.fill(0.0);
-        let inv = 1.0 / gathered.len() as f32;
-        let mut scratch = vec![0.0f32; grad.len()];
-        for frame in &gathered {
-            let qg = Self::decode_payload(frame, scratch.len());
-            Self::dequantize(&qg, self.s, &mut scratch);
-            for (g, v) in grad.iter_mut().zip(&scratch) {
-                *g += v * inv;
-            }
-        }
-        SyncStats { compress_seconds, wire_bits }
+        // Per-bucket Elias streams in flight while later buckets encode;
+        // decode dequantizes each bucket with the shared global norm.
+        let s = self.s;
+        let mut scratch = vec![0.0f32; bounds.iter().map(|r| r.len()).max().unwrap_or(0)];
+        let (wire_bits, exchange_seconds) = crate::session::pipeline_allgather(
+            comm,
+            bounds,
+            |r| Self::encode_levels_payload(q.norm, &q.levels[r.clone()]),
+            |r, frames| {
+                let out = &mut grad[r.clone()];
+                out.fill(0.0);
+                let inv = 1.0 / frames.len() as f32;
+                for frame in &frames {
+                    let qg = Self::decode_payload(frame, out.len());
+                    Self::dequantize(&qg, s, &mut scratch[..out.len()]);
+                    for (g, v) in out.iter_mut().zip(&scratch) {
+                        *g += v * inv;
+                    }
+                }
+            },
+        );
+        SyncStats { compress_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {

@@ -4,6 +4,7 @@ use crate::ef::ErrorFeedback;
 use crate::{sparse, GradientSynchronizer, SyncStats};
 use cluster_comm::CommHandle;
 use mini_tensor::rng::SeedRng;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Keeps k uniformly random coordinates per iteration (worker-local
@@ -56,8 +57,15 @@ impl GradientSynchronizer for RandK {
         "RandK"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
+        // One global RNG draw per step — the selected set (and hence the
+        // worker's RNG stream) is independent of the bucket partition.
         self.acc.copy_from_slice(grad);
         self.ef.apply(&mut self.acc);
         let idx = self.pick_indices(grad.len());
@@ -65,13 +73,12 @@ impl GradientSynchronizer for RandK {
         self.kept.fill(0.0);
         sparse::scatter_into(&mut self.kept, &idx, &val, 1.0);
         self.ef.absorb(&self.acc, &self.kept);
-        let payload = sparse::encode(&idx, &val);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
-        sparse::average_gathered(grad, &gathered);
-        SyncStats { compress_seconds, wire_bits }
+        let (wire_bits, exchange_seconds) =
+            sparse::exchange_selected(grad, bounds, comm, &idx, &val);
+        SyncStats { compress_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {

@@ -1,0 +1,232 @@
+//! Bucketed synchronization sessions and the shared pipeline driver.
+//!
+//! [`SyncSession`] is the streaming per-step API over
+//! [`GradientSynchronizer`]: `begin_step()` → `submit(bucket_id, slice)`
+//! per ready bucket → `finish()` (drain exchanges, aggregate
+//! [`SyncStats`]). [`bucket_bounds`] turns a parameter layout into the
+//! deterministic, layer-boundary-aligned bucket partition the trainer
+//! drives the session with, and [`pipeline_allgather`] is the
+//! encode → nonblocking-exchange → decode loop every gather-style
+//! synchronizer shares.
+
+use crate::{GradientSynchronizer, SyncStats};
+use cluster_comm::{CollectiveHandle, CommHandle, Payload};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Cuts a flat gradient into deterministic, size-capped buckets that never
+/// split a parameter tensor (layer-boundary alignment): segments are taken
+/// in layout order and greedily packed until adding the next one would
+/// exceed `cap_bytes` (f32 elements, 4 bytes each). A segment larger than
+/// the cap gets a bucket of its own — the cap is a target, alignment wins.
+/// The result partitions `0..sizes.iter().sum()` in ascending order and is
+/// a pure function of `(sizes, cap_bytes)`, so every rank, backend and
+/// world size derives identical boundaries.
+pub fn bucket_bounds(sizes: &[usize], cap_bytes: usize) -> Vec<Range<usize>> {
+    let cap_elems = (cap_bytes / 4).max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut len = 0usize;
+    for &s in sizes {
+        if len > 0 && len + s > cap_elems {
+            out.push(start..start + len);
+            start += len;
+            len = 0;
+        }
+        len += s;
+    }
+    if len > 0 {
+        out.push(start..start + len);
+    }
+    out
+}
+
+/// One training step's bucketed synchronization: collects the caller's
+/// bucket slices (ascending `bucket_id`, ascending layout order) and runs
+/// the synchronizer's bucketed pipeline over them on
+/// [`finish`](Self::finish).
+///
+/// Buckets submitted as separate slices are re-joined into the
+/// synchronizer's contiguous working view by copy; a caller that already
+/// holds the whole flat gradient can call
+/// [`GradientSynchronizer::sync_bucketed`] directly and skip both copies
+/// (the trainer does).
+pub struct SyncSession<'s, 'g> {
+    sync: &'s mut dyn GradientSynchronizer,
+    buckets: Vec<&'g mut [f32]>,
+}
+
+impl<'s, 'g> SyncSession<'s, 'g> {
+    /// Opens a session (see also the `begin_step` convenience on
+    /// `dyn GradientSynchronizer`).
+    pub fn begin(sync: &'s mut dyn GradientSynchronizer) -> Self {
+        SyncSession { sync, buckets: Vec::new() }
+    }
+
+    /// Stages bucket `bucket_id` (must arrive in order: 0, 1, 2, …; the
+    /// id is explicit so a mis-wired driver fails loudly, not silently
+    /// permuted).
+    pub fn submit(&mut self, bucket_id: usize, bucket: &'g mut [f32]) {
+        assert_eq!(bucket_id, self.buckets.len(), "buckets must be submitted in layout order");
+        self.buckets.push(bucket);
+    }
+
+    /// Drains the step: runs the bucketed pipeline over everything
+    /// submitted and returns the aggregated stats. A single-bucket session
+    /// synchronizes the slice in place with no copies.
+    pub fn finish(self, comm: &mut CommHandle) -> SyncStats {
+        let SyncSession { sync, mut buckets } = self;
+        match buckets.len() {
+            0 => SyncStats::default(),
+            1 => {
+                let b = &mut *buckets[0];
+                let n = b.len();
+                sync.sync_bucketed(b, std::slice::from_ref(&(0..n)), comm)
+            }
+            _ => {
+                // Re-join the separately-borrowed slices into one
+                // contiguous working vector (the synchronizers' global
+                // statistics need it), pipeline, then scatter back.
+                let t0 = Instant::now();
+                let mut bounds = Vec::with_capacity(buckets.len());
+                let mut scratch = Vec::with_capacity(buckets.iter().map(|b| b.len()).sum());
+                for b in &buckets {
+                    let lo = scratch.len();
+                    scratch.extend_from_slice(b);
+                    bounds.push(lo..scratch.len());
+                }
+                let join_seconds = t0.elapsed().as_secs_f64();
+                let mut stats = sync.sync_bucketed(&mut scratch, &bounds, comm);
+                let t1 = Instant::now();
+                for (b, r) in buckets.iter_mut().zip(&bounds) {
+                    b.copy_from_slice(&scratch[r.clone()]);
+                }
+                stats.compress_seconds += join_seconds + t1.elapsed().as_secs_f64();
+                stats
+            }
+        }
+    }
+}
+
+/// The shared bucketed exchange loop for gather-style synchronizers:
+/// `encode(bounds[i])` produces bucket *i*'s wire frame, which is launched
+/// as a nonblocking allgather immediately — so it is in flight while
+/// bucket *i+1* encodes — and `decode(bounds[i], frames)` folds the
+/// world's frames for bucket *i* back in. On measured backends completed
+/// buckets decode opportunistically while later ones are still launching;
+/// on modeled backends completion order is pinned to bucket order (the
+/// shared simulated clock has no overlap to expose). Decode is always
+/// called in ascending bucket order — determinism does not depend on
+/// arrival timing.
+///
+/// Returns `(wire_bits, exchange_seconds)`: the logical-bit delta of this
+/// rank's own frames and the measured wall time spent inside collective
+/// calls. Peer loss mid-pipeline panics with the typed transport cause
+/// (restart/shrink policies are future work — see ROADMAP).
+pub fn pipeline_allgather(
+    comm: &mut CommHandle,
+    bounds: &[Range<usize>],
+    mut encode: impl FnMut(&Range<usize>) -> Payload,
+    mut decode: impl FnMut(&Range<usize>, Vec<Payload>),
+) -> (u64, f64) {
+    let bits_before = comm.stats().logical_wire_bits;
+    let mut exchange_seconds = 0.0f64;
+    let opportunistic = comm.cost_model().is_none();
+    let mut pending: VecDeque<(usize, CollectiveHandle)> = VecDeque::new();
+
+    let wait_front = |pending: &mut VecDeque<(usize, CollectiveHandle)>,
+                      comm: &mut CommHandle,
+                      exchange_seconds: &mut f64,
+                      decode: &mut dyn FnMut(&Range<usize>, Vec<Payload>)| {
+        let (i, handle) = pending.pop_front().expect("pipeline drained an empty queue");
+        let t = Instant::now();
+        let frames = handle
+            .wait(comm)
+            .unwrap_or_else(|e| panic!("bucket {i} exchange failed: {e}"))
+            .expect_gathered();
+        *exchange_seconds += t.elapsed().as_secs_f64();
+        decode(&bounds[i], frames);
+    };
+
+    for (i, r) in bounds.iter().enumerate() {
+        let payload = encode(r);
+        let t = Instant::now();
+        let handle = comm.start_allgather_bytes(payload);
+        exchange_seconds += t.elapsed().as_secs_f64();
+        pending.push_back((i, handle));
+        if opportunistic {
+            // Drain whatever already finished, front first, without
+            // blocking the launch loop.
+            loop {
+                let t = Instant::now();
+                let done = match pending.front_mut() {
+                    Some((j, h)) => h
+                        .try_complete(comm)
+                        .unwrap_or_else(|e| panic!("bucket {j} exchange failed: {e}")),
+                    None => false,
+                };
+                exchange_seconds += t.elapsed().as_secs_f64();
+                if !done {
+                    break;
+                }
+                wait_front(&mut pending, comm, &mut exchange_seconds, &mut decode);
+            }
+        }
+    }
+    while !pending.is_empty() {
+        wait_front(&mut pending, comm, &mut exchange_seconds, &mut decode);
+    }
+    (comm.stats().logical_wire_bits - bits_before, exchange_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_pack_whole_segments_up_to_the_cap() {
+        // Segments of 100/200/50/400/10 floats, 1 KiB cap = 256 floats:
+        // 100 alone (next would overflow), then 200+50 = 250 together,
+        // then the oversized 400, then the tail.
+        let b = bucket_bounds(&[100, 200, 50, 400, 10], 1024);
+        assert_eq!(b, vec![0..100, 100..350, 350..750, 750..760]);
+    }
+
+    #[test]
+    fn oversized_segment_gets_its_own_bucket() {
+        let b = bucket_bounds(&[10, 5000, 10], 1024);
+        assert_eq!(b, vec![0..10, 10..5010, 5010..5020]);
+    }
+
+    #[test]
+    fn huge_cap_is_one_bucket() {
+        let b = bucket_bounds(&[7, 8, 9], usize::MAX);
+        assert_eq!(b, vec![0..24]);
+    }
+
+    #[test]
+    fn zero_cap_is_per_segment() {
+        let b = bucket_bounds(&[3, 4], 0);
+        assert_eq!(b, vec![0..3, 3..7]);
+    }
+
+    #[test]
+    fn bounds_partition_the_whole_range() {
+        let sizes = [13usize, 1, 999, 256, 4096, 77];
+        for cap in [0usize, 64, 1024, 65536, usize::MAX] {
+            let b = bucket_bounds(&sizes, cap);
+            let n: usize = sizes.iter().sum();
+            assert_eq!(b.first().unwrap().start, 0);
+            assert_eq!(b.last().unwrap().end, n);
+            for w in b.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "cap {cap}: gap/overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_layout_has_no_buckets() {
+        assert!(bucket_bounds(&[], 1024).is_empty());
+    }
+}

@@ -4,6 +4,7 @@ use crate::ef::ErrorFeedback;
 use crate::elias::{BitReader, BitWriter};
 use crate::{GradientSynchronizer, SyncStats};
 use cluster_comm::{CommHandle, Payload};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Transmits `sign(g + m) · ‖g + m‖₁/n` (one bit per coordinate plus a
@@ -58,8 +59,15 @@ impl GradientSynchronizer for SignSgdEf {
         "SignSGD-EF"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
+        // Scale (global ℓ₁ mean) and error feedback run over the whole
+        // accumulated gradient; only the sign pack is cut per bucket.
         self.acc.copy_from_slice(grad);
         self.ef.apply(&mut self.acc);
         let n = grad.len();
@@ -67,19 +75,27 @@ impl GradientSynchronizer for SignSgdEf {
         // Decoded local contribution (what error feedback absorbs).
         let decoded: Vec<f32> = self.acc.iter().map(|&a| scale * a.signum()).collect();
         self.ef.absorb(&self.acc, &decoded);
-        let payload = Self::encode_payload(scale, &self.acc);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        // Exchange the sign packs; decode every peer's frame straight into
-        // the accumulating gradient (no per-peer temporaries).
-        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
-        let inv = 1.0 / gathered.len() as f32;
-        grad.fill(0.0);
-        for frame in &gathered {
-            Self::accumulate_payload(frame, grad, inv);
-        }
-        SyncStats { compress_seconds, wire_bits }
+        // Per-bucket sign packs (each with the 32-bit scale prefix);
+        // decode every peer's frame straight into the accumulating
+        // gradient slice (no per-peer temporaries).
+        let acc = &self.acc;
+        let (wire_bits, exchange_seconds) = crate::session::pipeline_allgather(
+            comm,
+            bounds,
+            |r| Self::encode_payload(scale, &acc[r.clone()]),
+            |r, frames| {
+                let out = &mut grad[r.clone()];
+                out.fill(0.0);
+                let inv = 1.0 / frames.len() as f32;
+                for frame in &frames {
+                    Self::accumulate_payload(frame, out, inv);
+                }
+            },
+        );
+        SyncStats { compress_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {

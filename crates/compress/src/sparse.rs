@@ -6,7 +6,8 @@
 //! kept coordinate, which is exactly what the transport puts on the wire
 //! (plus fixed framing).
 
-use cluster_comm::Payload;
+use cluster_comm::{CommHandle, Payload};
+use std::ops::Range;
 
 /// Bits one `(index, value)` record occupies on the wire.
 pub const PAIR_BITS: u64 = 64;
@@ -54,6 +55,48 @@ pub fn average_gathered(out: &mut [f32], gathered: &[Payload]) {
     }
 }
 
+/// Sub-range of a sorted index list whose coordinates fall inside the
+/// bucket `r` — how a global selection is cut into per-bucket wire frames.
+pub fn records_in(idx: &[u32], r: &Range<usize>) -> Range<usize> {
+    let lo = idx.partition_point(|&i| (i as usize) < r.start);
+    let hi = idx.partition_point(|&i| (i as usize) < r.end);
+    lo..hi
+}
+
+/// The k-selection family's shared bucketed exchange: the globally
+/// selected `(idx, val)` records (indices sorted ascending) are cut at the
+/// bucket boundaries, each bucket's records become one sparse frame
+/// launched as a nonblocking allgather (in flight while the next bucket
+/// encodes), and each bucket of `grad` is rebuilt as the world average of
+/// the frames that land in it. Record order and per-coordinate
+/// accumulation order (rank 0..P within each coordinate's only bucket) are
+/// the same as the whole-model exchange, so the result is bit-identical
+/// for every partition. Returns `(wire_bits, exchange_seconds)`.
+pub fn exchange_selected(
+    grad: &mut [f32],
+    bounds: &[Range<usize>],
+    comm: &mut CommHandle,
+    idx: &[u32],
+    val: &[f32],
+) -> (u64, f64) {
+    crate::session::pipeline_allgather(
+        comm,
+        bounds,
+        |r| {
+            let recs = records_in(idx, r);
+            encode(&idx[recs.clone()], &val[recs])
+        },
+        |r, frames| {
+            grad[r.clone()].fill(0.0);
+            let inv = 1.0 / frames.len() as f32;
+            for payload in &frames {
+                let (fidx, fval) = decode(payload);
+                scatter_into(grad, &fidx, &fval, inv);
+            }
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +134,14 @@ mod tests {
     #[should_panic]
     fn misaligned_frame_rejected() {
         let _ = decode(&Payload::Bytes(vec![0u8; 12]));
+    }
+
+    #[test]
+    fn records_in_cuts_sorted_indices_at_bucket_bounds() {
+        let idx = vec![0u32, 3, 7, 8, 100];
+        assert_eq!(records_in(&idx, &(0..4)), 0..2);
+        assert_eq!(records_in(&idx, &(4..8)), 2..3);
+        assert_eq!(records_in(&idx, &(8..101)), 3..5);
+        assert_eq!(records_in(&idx, &(101..200)), 5..5);
     }
 }

@@ -4,6 +4,7 @@ use crate::elias::{BitReader, BitWriter};
 use crate::{GradientSynchronizer, SyncStats};
 use cluster_comm::{CommHandle, Payload};
 use mini_tensor::rng::SeedRng;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Quantizes each coordinate to `{−s, 0, +s}` with `s = max|g|` and
@@ -87,22 +88,45 @@ impl GradientSynchronizer for TernGrad {
         "TernGrad"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
+        // The scale (max |g|) and the dithering stream are global: the
+        // ternarized vector is fixed before any bucket is cut. With
+        // multiple buckets, decode overwrites `grad` while later buckets
+        // still encode from the original ternary values, so those need a
+        // snapshot; the whole-model default encodes its single frame up
+        // front instead and skips the O(n) copy.
         let s = self.ternarize(grad);
-        let payload = Self::encode_payload(s, grad);
+        let mut single = (bounds.len() == 1).then(|| Self::encode_payload(s, grad));
+        let tern = if single.is_some() { Vec::new() } else { grad.to_vec() };
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        // Exchange the 2-bit packs; decode every peer's frame straight into
-        // the accumulating gradient (no per-peer temporaries).
-        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
-        let inv = 1.0 / gathered.len() as f32;
-        grad.fill(0.0);
-        for frame in &gathered {
-            Self::accumulate_payload(frame, grad, inv);
-        }
-        SyncStats { compress_seconds, wire_bits }
+        // Per-bucket 2-bit packs (each with the 32-bit scale prefix);
+        // decode every peer's frame straight into the accumulating
+        // gradient slice (no per-peer temporaries).
+        let (wire_bits, exchange_seconds) = crate::session::pipeline_allgather(
+            comm,
+            bounds,
+            |r| match single.take() {
+                Some(frame) => frame,
+                None => Self::encode_payload(s, &tern[r.clone()]),
+            },
+            |r, frames| {
+                let out = &mut grad[r.clone()];
+                out.fill(0.0);
+                let inv = 1.0 / frames.len() as f32;
+                for frame in &frames {
+                    Self::accumulate_payload(frame, out, inv);
+                }
+            },
+        );
+        SyncStats { compress_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {

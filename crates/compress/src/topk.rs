@@ -5,6 +5,7 @@ use crate::{sparse, GradientSynchronizer, SyncStats};
 use cluster_comm::CommHandle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Selects the k largest-magnitude coordinates of the error-compensated
@@ -73,27 +74,31 @@ impl GradientSynchronizer for TopK {
         "TopK"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
-        // Error compensation.
+        // Error compensation and selection are global — the selected set
+        // is a property of the whole gradient, not of any bucket.
         self.acc.copy_from_slice(grad);
         self.ef.apply(&mut self.acc);
-        // Selection.
         let idx = Self::select(&self.acc, self.k);
         let val: Vec<f32> = idx.iter().map(|&i| self.acc[i as usize]).collect();
         // Residual: everything not selected.
         self.kept.fill(0.0);
         sparse::scatter_into(&mut self.kept, &idx, &val, 1.0);
         self.ef.absorb(&self.acc, &self.kept);
-        // Encode: k (u32 idx, f32 val) records — 64k bits on the wire.
-        let payload = sparse::encode(&idx, &val);
         let compress_seconds = t0.elapsed().as_secs_f64();
         comm.advance_compute(compress_seconds);
 
-        // Exchange + decode: the encoded frame itself is gathered.
-        let (gathered, wire_bits) = crate::wire_bits_of(comm, |c| c.allgather_bytes(payload));
-        sparse::average_gathered(grad, &gathered);
-        SyncStats { compress_seconds, wire_bits }
+        // Per-bucket encode → async allgather → decode: 64 bits per kept
+        // coordinate total, cut at the bucket boundaries.
+        let (wire_bits, exchange_seconds) =
+            sparse::exchange_selected(grad, bounds, comm, &idx, &val);
+        SyncStats { compress_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {

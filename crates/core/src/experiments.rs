@@ -140,6 +140,7 @@ pub fn scaled_convergence_config(
         opt: paper_optimizer(model),
         seed,
         backend: CommBackend::InProc,
+        bucket_bytes: None,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],
     }

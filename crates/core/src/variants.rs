@@ -14,9 +14,10 @@
 //!   in n — trading a little bandwidth for lower encoding distortion.
 
 use crate::mean2::{residual_in_place, restore_with_global_means, split_means};
-use cluster_comm::{CollectiveAlgo, CommHandle};
+use cluster_comm::{CommHandle, Payload};
 use gradcomp::ef::ErrorFeedback;
 use gradcomp::{GradientSynchronizer, SyncStats};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Allgather-based exchange of the two means (paper §4.4 future work).
@@ -35,25 +36,53 @@ impl GradientSynchronizer for A2sgdAllgather {
         "A2SGD-AG"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    /// Like [`A2sgd`](crate::algorithm::A2sgd), the exchange is O(1) —
+    /// `bounds` is ignored and the nonblocking allgather hides behind the
+    /// residual pass.
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        _bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
         let means = split_means(grad);
-        let mask = residual_in_place(grad, &means);
-        let compress_seconds = t0.elapsed().as_secs_f64();
-        comm.advance_compute(compress_seconds);
+        let compress_head = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_head);
 
         // The f32-lane variant of the exchange: two dense f32 means per
         // rank — the same 64 wire bits as the packed-u64 packet.
-        let (gathered, wire_bits) =
-            gradcomp::wire_bits_of(comm, |c| c.allgather(&[means.mu_pos, means.mu_neg]));
+        let bits_before = comm.stats().logical_wire_bits;
+        let tx = Instant::now();
+        let handle =
+            comm.start_allgather_bytes(Payload::F32Dense(vec![means.mu_pos, means.mu_neg]));
+        let mut exchange_seconds = tx.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mask = residual_in_place(grad, &means);
+        let residual_seconds = t1.elapsed().as_secs_f64();
+        comm.advance_compute(residual_seconds);
+
+        let tx = Instant::now();
+        let gathered = handle
+            .wait(comm)
+            .unwrap_or_else(|e| panic!("A2SGD-AG means exchange failed: {e}"))
+            .expect_gathered();
+        exchange_seconds += tx.elapsed().as_secs_f64();
+        let wire_bits = comm.stats().logical_wire_bits - bits_before;
         let inv = 1.0 / gathered.len() as f32;
         let (mut gp, mut gn) = (0.0f32, 0.0f32);
-        for pair in &gathered {
+        for frame in gathered {
+            let pair = frame.expect_f32();
             gp += pair[0];
             gn += pair[1];
         }
         restore_with_global_means(grad, &mask, gp * inv, gn * inv);
-        SyncStats { compress_seconds, wire_bits }
+        SyncStats {
+            compress_seconds: compress_head + residual_seconds,
+            exchange_seconds,
+            wire_bits,
+        }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
@@ -84,24 +113,46 @@ impl GradientSynchronizer for A2sgdCarry {
         "A2SGD-carry"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    /// O(1) exchange — `bounds` is ignored (see
+    /// [`A2sgd`](crate::algorithm::A2sgd)); the error-feedback update
+    /// overlaps the in-flight allreduce.
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        _bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
         self.acc.copy_from_slice(grad);
         self.ef.apply(&mut self.acc);
         let means = split_means(&self.acc);
-        // Transmit enc(acc); memory keeps acc − enc(acc).
+        let compress_head = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_head);
+
+        // The reducible f32 path: two means over the nonblocking
+        // recursive-doubling allreduce — their 8 payload bytes are the
+        // wire encoding, no override needed.
+        let bits_before = comm.stats().logical_wire_bits;
+        let tx = Instant::now();
+        let handle = comm.start_allreduce(vec![means.mu_pos, means.mu_neg]);
+        let mut exchange_seconds = tx.elapsed().as_secs_f64();
+
+        // Transmit enc(acc); memory keeps acc − enc(acc) — computed while
+        // the two-float frame is in flight.
+        let t1 = Instant::now();
         let mut enc = vec![0.0f32; grad.len()];
         crate::mean2::enc_into(&self.acc, &means, &mut enc);
         self.ef.absorb(&self.acc, &enc);
-        let compress_seconds = t0.elapsed().as_secs_f64();
-        comm.advance_compute(compress_seconds);
+        let ef_seconds = t1.elapsed().as_secs_f64();
+        comm.advance_compute(ef_seconds);
 
-        // The reducible f32 path: two means, recursive doubling — their
-        // 8 payload bytes are the wire encoding, no override needed.
-        let mut payload = [means.mu_pos, means.mu_neg];
-        let (_, wire_bits) = gradcomp::wire_bits_of(comm, |c| {
-            c.allreduce_sum_with(&mut payload, CollectiveAlgo::RecursiveDoubling)
-        });
+        let tx = Instant::now();
+        let payload = handle
+            .wait(comm)
+            .unwrap_or_else(|e| panic!("A2SGD-carry means exchange failed: {e}"))
+            .expect_reduced();
+        exchange_seconds += tx.elapsed().as_secs_f64();
+        let wire_bits = comm.stats().logical_wire_bits - bits_before;
         let inv = 1.0 / comm.world() as f32;
         let (gp, gn) = (payload[0] * inv, payload[1] * inv);
         // The update this worker applies is enc with global means, using
@@ -109,7 +160,7 @@ impl GradientSynchronizer for A2sgdCarry {
         let mask = crate::mean2::SignMask::capture(&self.acc);
         grad.fill(0.0);
         restore_with_global_means(grad, &mask, gp, gn);
-        SyncStats { compress_seconds, wire_bits }
+        SyncStats { compress_seconds: compress_head + ef_seconds, exchange_seconds, wire_bits }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
@@ -182,31 +233,55 @@ impl GradientSynchronizer for KLevelSgd {
         "KLevel"
     }
 
-    fn synchronize(&mut self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+    /// O(1)-in-n exchange (`2·levels` floats) — `bounds` is ignored; the
+    /// residual pass overlaps the in-flight allreduce.
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        _bounds: &[Range<usize>],
+        comm: &mut CommHandle,
+    ) -> SyncStats {
         let t0 = Instant::now();
-        let (bucket, mut means) = self.bucketize(grad);
-        // Residual: g − enc_bucket(g).
+        let (bucket, means) = self.bucketize(grad);
+        let compress_head = t0.elapsed().as_secs_f64();
+        comm.advance_compute(compress_head);
+
+        let bits_before = comm.stats().logical_wire_bits;
+        let tx = Instant::now();
+        let handle = comm.start_allreduce(means.clone());
+        let mut exchange_seconds = tx.elapsed().as_secs_f64();
+
+        // Residual: g − enc_bucket(g), while the means frame is in flight.
         let l = self.levels;
+        let t1 = Instant::now();
         for (i, v) in grad.iter_mut().enumerate() {
             let b = bucket[i] as usize;
             let enc = if b < l { means[b] } else { -means[b] };
             *v -= enc;
         }
-        let compress_seconds = t0.elapsed().as_secs_f64();
-        comm.advance_compute(compress_seconds);
+        let residual_seconds = t1.elapsed().as_secs_f64();
+        comm.advance_compute(residual_seconds);
 
-        let (_, wire_bits) = gradcomp::wire_bits_of(comm, |c| {
-            c.allreduce_sum_with(&mut means, CollectiveAlgo::RecursiveDoubling)
-        });
+        let tx = Instant::now();
+        let mut gmeans = handle
+            .wait(comm)
+            .unwrap_or_else(|e| panic!("KLevel means exchange failed: {e}"))
+            .expect_reduced();
+        exchange_seconds += tx.elapsed().as_secs_f64();
+        let wire_bits = comm.stats().logical_wire_bits - bits_before;
         let inv = 1.0 / comm.world() as f32;
-        for m in means.iter_mut() {
+        for m in gmeans.iter_mut() {
             *m *= inv;
         }
         for (i, v) in grad.iter_mut().enumerate() {
             let b = bucket[i] as usize;
-            *v += if b < l { means[b] } else { -means[b] };
+            *v += if b < l { gmeans[b] } else { -gmeans[b] };
         }
-        SyncStats { compress_seconds, wire_bits }
+        SyncStats {
+            compress_seconds: compress_head + residual_seconds,
+            exchange_seconds,
+            wire_bits,
+        }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {

@@ -14,6 +14,16 @@ pub fn param_count(model: &mut dyn Module) -> usize {
     n
 }
 
+/// Per-parameter segment sizes in `visit_params` order — the layer layout
+/// of the flat gradient. This is what the size-capped bucketizer aligns
+/// to, so bucket boundaries never split a parameter tensor and are a pure
+/// function of the architecture (identical on every rank and backend).
+pub fn param_sizes(model: &mut dyn Module) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    model.visit_params(&mut |p| sizes.push(p.numel()));
+    sizes
+}
+
 /// Copies all gradients into one contiguous vector.
 pub fn flatten_grads(model: &mut dyn Module, out: &mut Vec<f32>) {
     out.clear();
@@ -67,6 +77,14 @@ mod tests {
     fn count_matches_architecture() {
         let mut m = mlp();
         assert_eq!(param_count(&mut m), 4 * 3 + 3 + 3 * 2 + 2);
+    }
+
+    #[test]
+    fn sizes_follow_visit_order_and_sum_to_count() {
+        let mut m = mlp();
+        let sizes = param_sizes(&mut m);
+        assert_eq!(sizes, vec![4 * 3, 3, 3 * 2, 2]);
+        assert_eq!(sizes.iter().sum::<usize>(), param_count(&mut m));
     }
 
     #[test]

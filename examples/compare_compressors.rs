@@ -6,7 +6,7 @@
 use a2sgd::experiments::scaled_convergence_config;
 use a2sgd::metrics::compression_ratio;
 use a2sgd::registry::AlgoKind;
-use a2sgd::report::Table;
+use a2sgd::report::{fmt_seconds, Table};
 use a2sgd::trainer::train;
 use mini_nn::models::ModelKind;
 
@@ -28,7 +28,15 @@ fn main() {
 
     let mut t = Table::new(
         "algorithm comparison",
-        &["algorithm", "final top-1 %", "bits/iter/worker", "ratio vs dense", "sim time (s)"],
+        &[
+            "algorithm",
+            "final top-1 %",
+            "bits/iter/worker",
+            "ratio vs dense",
+            "sim time (s)",
+            "t_compress/iter",
+            "t_exchange/iter",
+        ],
     );
     let mut n_params = 0usize;
     for algo in algos {
@@ -44,9 +52,15 @@ fn main() {
             rep.wire_bits_per_iter.to_string(),
             format!("{:.0}×", compression_ratio(n_params, rep.wire_bits_per_iter)),
             format!("{:.3}", rep.total_sim_seconds),
+            fmt_seconds(rep.avg_compress_seconds),
+            fmt_seconds(rep.avg_exchange_seconds),
         ]);
         eprintln!("  done: {}", algo.name());
     }
     println!("{}", t.render());
-    println!("Note the A2SGD family's constant 64-bit rows (KLevel: 64·L bits).");
+    println!(
+        "Note the A2SGD family's constant 64-bit rows (KLevel: 64·L bits); the last two \
+         columns split per-iteration sync cost into compression compute vs measured time \
+         inside collective calls."
+    );
 }

@@ -6,10 +6,12 @@ use a2sgd::experiments::scaled_convergence_config;
 use a2sgd::registry::AlgoKind;
 use a2sgd::trainer::train;
 use a2sgd_repro::cluster_comm::{
-    run_cluster, run_cluster_tcp, run_multiprocess, CollectiveAlgo, CommBackend, CommHandle,
-    NetworkProfile, Payload,
+    run_cluster, run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, CollectiveAlgo,
+    CommBackend, CommHandle, NetworkProfile, Payload,
 };
+use a2sgd_repro::gradcomp::{bucket_bounds, SyncSession};
 use mini_nn::models::ModelKind;
+use std::ops::Range;
 
 fn cfg(algo: AlgoKind, workers: usize, seed: u64) -> a2sgd::trainer::TrainConfig {
     let mut c = scaled_convergence_config(ModelKind::Fnn3, algo, workers, seed);
@@ -170,4 +172,133 @@ fn traffic_ordering_matches_table2() {
     assert!(topk < qsgd, "{topk} !< {qsgd}");
     assert!(qsgd < dense, "{qsgd} !< {dense}");
     assert_eq!(a2, 64);
+}
+
+// ---- bucketed-session parity ---------------------------------------------
+//
+// The bucketed pipeline's contract: for EVERY registered synchronizer,
+// synchronizing through size-capped buckets is bit-identical to the
+// single-shot whole-model call — across bucket caps (whole model, 64 KiB,
+// 1 KiB), world sizes 1–4, and both transports. Bucketing must be a pure
+// latency/overlap knob; any semantic leak (per-bucket statistics, RNG
+// stream splits, reduction-order drift) fails here by algorithm name.
+
+/// Every synchronizer the registry can build (the paper's five plus all
+/// extensions/variants). Density/levels are turned up from the paper's
+/// 0.001 so the test's small model still selects a multi-bucket payload.
+fn all_registry_algos() -> Vec<AlgoKind> {
+    vec![
+        AlgoKind::Dense,
+        AlgoKind::TopK(0.01),
+        AlgoKind::GaussianK(0.01),
+        AlgoKind::Qsgd(4),
+        AlgoKind::A2sgd,
+        AlgoKind::A2sgdAllgather,
+        AlgoKind::A2sgdCarry,
+        AlgoKind::KLevel(4),
+        AlgoKind::RandK(0.01),
+        AlgoKind::TernGrad,
+        AlgoKind::SignSgd,
+    ]
+}
+
+const PARITY_N: usize = 20_000;
+
+fn parity_input(rank: usize, iter: usize, n: usize) -> Vec<f32> {
+    use a2sgd_repro::mini_tensor::rng::SeedRng;
+    let mut rng = SeedRng::new(0xB0CC ^ (rank as u64) << 8 ^ iter as u64);
+    (0..n).map(|_| rng.randn() * 0.3).collect()
+}
+
+/// Two synchronized iterations (state such as error feedback must carry
+/// across steps) under the given bucket cap; returns the output bits.
+fn parity_body(h: &mut CommHandle, algo: AlgoKind, cap: Option<usize>) -> Vec<u32> {
+    // A synthetic 20-layer layout: 1000-float segments, so a 64 KiB cap
+    // packs 16 segments per bucket (2 buckets) and a 1 KiB cap isolates
+    // every segment (20 buckets).
+    let bounds: Vec<Range<usize>> = match cap {
+        Some(c) => bucket_bounds(&[1000; PARITY_N / 1000], c),
+        None => vec![0..PARITY_N; 1],
+    };
+    let mut sync = algo.build(PARITY_N, 77, h.rank());
+    let mut out = Vec::new();
+    for iter in 0..2 {
+        let mut g = parity_input(h.rank(), iter, PARITY_N);
+        sync.sync_bucketed(&mut g, &bounds, h);
+        out.extend(g.iter().map(|v| v.to_bits()));
+    }
+    out
+}
+
+fn assert_bucket_parity_on<R>(backend_name: &str, run: R)
+where
+    R: Fn(usize, AlgoKind, Option<usize>) -> Vec<Vec<u32>>,
+{
+    for world in 1..=4usize {
+        for algo in all_registry_algos() {
+            let reference = run(world, algo, None);
+            for cap in [64 * 1024, 1024] {
+                let bucketed = run(world, algo, Some(cap));
+                for rank in 0..world {
+                    assert_eq!(
+                        bucketed[rank],
+                        reference[rank],
+                        "{} ({backend_name}): world {world} cap {cap} rank {rank} diverged \
+                         from single-shot",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bucket_parity_all_synchronizers_inproc() {
+    assert_bucket_parity_on("inproc", |world, algo, cap| {
+        run_cluster(world, NetworkProfile::infiniband_100g(), move |h| parity_body(h, algo, cap))
+    });
+}
+
+#[test]
+fn bucket_parity_all_synchronizers_tcp() {
+    assert_bucket_parity_on("tcp", |world, algo, cap| {
+        run_cluster_tcp_threads(world, move |h| parity_body(h, algo, cap))
+    });
+}
+
+/// The streaming session surface is the same pipeline: submitting the
+/// buckets as separate slices and finishing must equal `sync_bucketed`
+/// over the contiguous vector (and therefore equal single-shot).
+#[test]
+fn bucket_parity_session_submit_matches_direct_drive() {
+    let caps = [64 * 1024usize, 1024];
+    for algo in [AlgoKind::Dense, AlgoKind::A2sgd, AlgoKind::Qsgd(4), AlgoKind::TopK(0.01)] {
+        for cap in caps {
+            let direct = run_cluster(2, NetworkProfile::infiniband_100g(), move |h| {
+                parity_body(h, algo, Some(cap))
+            });
+            let sessioned = run_cluster(2, NetworkProfile::infiniband_100g(), move |h| {
+                let bounds = bucket_bounds(&[1000; PARITY_N / 1000], cap);
+                let mut sync = algo.build(PARITY_N, 77, h.rank());
+                let mut out = Vec::new();
+                for iter in 0..2 {
+                    let mut g = parity_input(h.rank(), iter, PARITY_N);
+                    let mut session = SyncSession::begin(sync.as_mut());
+                    let mut rest = &mut g[..];
+                    let mut consumed = 0usize;
+                    for (id, r) in bounds.iter().enumerate() {
+                        let (bucket, tail) = rest.split_at_mut(r.end - consumed);
+                        session.submit(id, bucket);
+                        consumed = r.end;
+                        rest = tail;
+                    }
+                    session.finish(h);
+                    out.extend(g.iter().map(|v| v.to_bits()));
+                }
+                out
+            });
+            assert_eq!(sessioned, direct, "{} cap {cap}", algo.name());
+        }
+    }
 }
