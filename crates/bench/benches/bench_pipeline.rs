@@ -1,6 +1,6 @@
-//! Synchronous vs pipelined bucket exchange on the TCP loopback backend:
-//! what does communication/compute overlap buy a dense gradient, and why
-//! doesn't A2SGD care?
+//! Synchronous vs pipelined vs hook-driven bucket exchange on the TCP
+//! loopback backend: what does communication/compute overlap buy a dense
+//! gradient, and why doesn't A2SGD care?
 //!
 //! Each iteration stands up a 2-rank loopback cluster (rendezvous
 //! included) and runs a burst of synchronization steps:
@@ -12,14 +12,24 @@
 //!   exchange launched before any is waited (asserted ≥ 2 — in fact all —
 //!   frames concurrently in flight via the handle tag accounting);
 //! * `dense/single_shot` — the whole model as one bucket, for reference;
-//! * `a2sgd/*` — the same contrast for the 64-bit two-means packet, which
+//! * `dense/hooked_backward` — the full backward-overlap path: a real
+//!   model's `backward_hooked` drives `HookedStep`, so buckets stream to
+//!   the wire *during* backprop (asserted via tag accounting);
+//! * `a2sgd/*` — the same contrasts for the 64-bit two-means packet, which
 //!   is one tiny frame regardless of bucketing: pipelining is a dense-path
-//!   win, not something A2SGD needs.
+//!   win, not something A2SGD needs (its hooked variant measures pure
+//!   hook-bookkeeping overhead on a staged session).
 
 use a2sgd::algorithm::A2sgd;
+use a2sgd::overlap::{HookLayout, HookedStep};
+use a2sgd::registry::AlgoKind;
 use cluster_comm::{run_cluster_tcp_threads, CommHandle};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gradcomp::{DenseSgd, GradientSynchronizer};
+use mini_nn::models::{ModelKind, Preset};
+use mini_nn::module::{Mode, ModuleExt};
+use mini_tensor::rng::SeedRng;
+use mini_tensor::Tensor;
 use std::ops::Range;
 
 const WORLD: usize = 2;
@@ -80,6 +90,34 @@ fn dense_single_shot(h: &mut CommHandle) -> f32 {
     g[0]
 }
 
+/// The backward-overlap path end to end: per-layer hooks on a real model
+/// submit per-layer buckets mid-backprop. Dense streams them to the wire
+/// (overlap asserted); A2SGD stages and ships its O(1) packet at finish.
+fn hooked_backward(h: &mut CommHandle, algo: AlgoKind) -> f32 {
+    let mut model = ModelKind::Fnn3.build(Preset::Scaled, 17);
+    let layout = HookLayout::of(model.as_mut(), Some(4096));
+    let mut sync = algo.build(layout.total(), 17, h.rank());
+    let mut flat = Vec::new();
+    let x = SeedRng::new(18 + h.rank() as u64).randn_tensor(&[8, 1, 28, 28], 1.0);
+    let mut out = 0.0;
+    for _ in 0..ROUNDS {
+        model.zero_grad();
+        let y = model.forward(&x, Mode::Train);
+        let mut step = HookedStep::begin(&layout, sync.as_mut(), &mut flat, h);
+        let _ = model.backward_hooked(&Tensor::ones(y.shape().clone()), &mut step);
+        step.finish();
+        out = flat[0];
+    }
+    if matches!(algo, AlgoKind::Dense) {
+        assert!(
+            h.max_inflight() >= 2,
+            "hooked dense path had only {} exchange(s) in flight",
+            h.max_inflight()
+        );
+    }
+    out
+}
+
 fn a2sgd_rounds(h: &mut CommHandle, bucketed: bool) -> f32 {
     let mut g = gradient(h.rank());
     let mut sync = A2sgd::new();
@@ -105,6 +143,12 @@ fn bench_pipeline(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("dense", "single_shot"), &(), |b, _| {
         b.iter(|| run_cluster_tcp_threads(WORLD, dense_single_shot))
+    });
+    group.bench_with_input(BenchmarkId::new("dense", "hooked_backward"), &(), |b, _| {
+        b.iter(|| run_cluster_tcp_threads(WORLD, |h| hooked_backward(h, AlgoKind::Dense)))
+    });
+    group.bench_with_input(BenchmarkId::new("a2sgd", "hooked_backward"), &(), |b, _| {
+        b.iter(|| run_cluster_tcp_threads(WORLD, |h| hooked_backward(h, AlgoKind::A2sgd)))
     });
     group.bench_with_input(BenchmarkId::new("a2sgd", "single_shot"), &(), |b, _| {
         b.iter(|| run_cluster_tcp_threads(WORLD, |h| a2sgd_rounds(h, false)))

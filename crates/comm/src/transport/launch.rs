@@ -26,7 +26,12 @@ use std::time::{Duration, Instant};
 
 /// Environment variable pointing children at the result-file directory.
 pub const ENV_OUT_DIR: &str = "A2SGD_OUT_DIR";
-/// Optional override (seconds) for the parent's child-exit deadline.
+/// Override (seconds) for the parent's child-exit deadline — the knob
+/// slower CI runners and long multi-process sweeps widen without editing
+/// source (e.g. `A2SGD_CHILD_DEADLINE_SECS=240`).
+pub const ENV_CHILD_DEADLINE: &str = "A2SGD_CHILD_DEADLINE_SECS";
+/// Older spelling of [`ENV_CHILD_DEADLINE`], still honored when the new
+/// one is unset.
 pub const ENV_LAUNCH_TIMEOUT: &str = "A2SGD_LAUNCH_TIMEOUT_SECS";
 
 const DEFAULT_LAUNCH_TIMEOUT: Duration = Duration::from_secs(120);
@@ -38,9 +43,9 @@ pub fn tcp_child_rank() -> Option<usize> {
 }
 
 fn launch_timeout() -> Duration {
-    std::env::var(ENV_LAUNCH_TIMEOUT)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
+    [ENV_CHILD_DEADLINE, ENV_LAUNCH_TIMEOUT]
+        .iter()
+        .find_map(|k| std::env::var(k).ok()?.parse::<u64>().ok())
         .map(Duration::from_secs)
         .unwrap_or(DEFAULT_LAUNCH_TIMEOUT)
 }
@@ -66,10 +71,10 @@ fn result_path(dir: &std::path::Path, rank: usize) -> PathBuf {
 /// from inside a `#[test]`), waits for them under a deadline, and returns
 /// the per-rank results in rank order.
 ///
-/// The deadline (default 120 s, `A2SGD_LAUNCH_TIMEOUT_SECS` to override)
-/// turns a hung rendezvous or deadlocked collective into a loud failure
-/// instead of a stalled CI job: all children are killed and the parent
-/// panics.
+/// The deadline (default 120 s; override with `A2SGD_CHILD_DEADLINE_SECS`,
+/// or the older `A2SGD_LAUNCH_TIMEOUT_SECS` spelling) turns a hung
+/// rendezvous or deadlocked collective into a loud failure instead of a
+/// stalled CI job: all children are killed and the parent panics.
 pub fn run_multiprocess<C>(world: usize, child_args: &[&str], child: C) -> Vec<Vec<f32>>
 where
     C: FnOnce(usize) -> Vec<f32>,

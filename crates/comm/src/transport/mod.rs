@@ -28,7 +28,9 @@ pub mod tcp;
 pub mod wire;
 
 pub use inproc::{InProc, InProcShared};
-pub use launch::{run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank};
+pub use launch::{
+    run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank, ENV_CHILD_DEADLINE,
+};
 pub use tcp::{Tcp, TcpConfig};
 pub use wire::{Payload, PayloadKind, PayloadRef};
 

@@ -1,7 +1,7 @@
 //! Dense (uncompressed) distributed SGD — the paper's "Dense" baseline.
 
 use crate::{GradientSynchronizer, SyncStats};
-use cluster_comm::CommHandle;
+use cluster_comm::{CollectiveHandle, CommHandle};
 use std::ops::Range;
 use std::time::Instant;
 
@@ -48,41 +48,64 @@ impl GradientSynchronizer for DenseSgd {
         comm: &mut CommHandle,
     ) -> SyncStats {
         let bits_before = comm.stats().logical_wire_bits;
-        let mut compress_seconds = 0.0f64;
         let mut exchange_seconds = 0.0f64;
 
         // Launch every bucket before waiting on any: all frames in flight
-        // at once (the copy into the handle's working vector is the only
-        // per-bucket "encode" dense has).
+        // at once. Expressed through the same start/finish pair the
+        // hook-driven streaming session uses, so the two paths cannot
+        // drift apart arithmetically (hooked ≡ single-shot by shared
+        // code, not parallel copies). The working-vector copy inside
+        // `start_bucket` — dense's only "encode" — is billed to exchange
+        // along with the launch.
         let mut handles = Vec::with_capacity(bounds.len());
         for r in bounds {
             let t0 = Instant::now();
-            let chunk = grad[r.clone()].to_vec();
-            compress_seconds += t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            handles.push(comm.start_allreduce(chunk));
-            exchange_seconds += t1.elapsed().as_secs_f64();
+            handles.push(self.start_bucket(&grad[r.clone()], comm).expect("dense streams"));
+            exchange_seconds += t0.elapsed().as_secs_f64();
         }
 
-        let inv = 1.0 / comm.world() as f32;
         for (r, handle) in bounds.iter().zip(handles) {
             let t0 = Instant::now();
-            let sum = handle
-                .wait(comm)
-                .unwrap_or_else(|e| panic!("dense bucket exchange failed: {e}"))
-                .expect_reduced();
+            self.finish_bucket(&mut grad[r.clone()], handle, comm);
             exchange_seconds += t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            for (g, s) in grad[r.clone()].iter_mut().zip(sum) {
-                *g = s * inv;
-            }
-            compress_seconds += t1.elapsed().as_secs_f64();
         }
 
         SyncStats {
-            compress_seconds,
+            compress_seconds: 0.0,
             exchange_seconds,
+            overlap_seconds: 0.0,
             wire_bits: comm.stats().logical_wire_bits - bits_before,
+        }
+    }
+
+    // Dense is the fully-streaming synchronizer: a bucket's recursive-
+    // doubling allreduce depends on nothing outside the bucket, so a
+    // hook-driven session launches it the moment the layer's gradient
+    // lands — while earlier layers are still backpropagating. RD reduces
+    // every element with the same rank-pairing schedule regardless of
+    // launch order, so hook arrival order (reverse topological) cannot
+    // perturb the result.
+    fn streams_buckets(&self) -> bool {
+        true
+    }
+
+    fn start_bucket(&mut self, bucket: &[f32], comm: &mut CommHandle) -> Option<CollectiveHandle> {
+        Some(comm.start_allreduce(bucket.to_vec()))
+    }
+
+    fn finish_bucket(
+        &mut self,
+        bucket: &mut [f32],
+        handle: CollectiveHandle,
+        comm: &mut CommHandle,
+    ) {
+        let inv = 1.0 / comm.world() as f32;
+        let sum = handle
+            .wait(comm)
+            .unwrap_or_else(|e| panic!("dense bucket exchange failed: {e}"))
+            .expect_reduced();
+        for (g, s) in bucket.iter_mut().zip(sum) {
+            *g = s * inv;
         }
     }
 

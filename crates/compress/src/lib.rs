@@ -10,14 +10,14 @@
 //! Every synchronizer owns its worker-local state (error-feedback memory,
 //! RNG streams) and synchronizes through a **bucketed
 //! encode → async-exchange → decode** pipeline
-//! ([`GradientSynchronizer::sync_bucketed`], driven per step through
-//! [`SyncSession`]): worker-local statistics (selection sets, norms,
-//! scales, means) are computed over the *whole* gradient exactly as in the
-//! one-shot formulation, then the encoded contribution is cut at the
-//! caller's bucket boundaries into typed wire payloads
-//! ([`cluster_comm::Payload`] — Elias-coded QSGD levels, `(u32 idx, f32
-//! val)` sparse records, sign/ternary bit-packs, or plain f32 lanes for
-//! the dense reducible path) and shipped through *nonblocking* collectives
+//! ([`GradientSynchronizer::sync_bucketed`]): worker-local statistics
+//! (selection sets, norms, scales, means) are computed over the *whole*
+//! gradient exactly as in the one-shot formulation, then the encoded
+//! contribution is cut at the caller's bucket boundaries into typed wire
+//! payloads ([`cluster_comm::Payload`] — Elias-coded QSGD levels,
+//! `(u32 idx, f32 val)` sparse records, sign/ternary bit-packs, or plain
+//! f32 lanes for the dense reducible path) and shipped through
+//! *nonblocking* collectives
 //! ([`cluster_comm::CommHandle::start_allgather_bytes`] /
 //! [`start_allreduce`](cluster_comm::CommHandle::start_allreduce)): bucket
 //! *i*'s frames are in flight while bucket *i+1* encodes and completed
@@ -26,6 +26,25 @@
 //! is **bit-identical to the single-shot call** (`synchronize`, which is
 //! just the whole-model-as-one-bucket adapter) for every bucket cap, on
 //! every backend, at every world size.
+//!
+//! The per-step streaming surface is [`SyncSession`], shaped for
+//! **per-layer gradient-ready hooks** (`mini-nn`'s
+//! `Module::backward_hooked`, driven by `a2sgd::overlap::HookedStep`):
+//! the session learns the bucket partition at `begin_step(bounds)` and
+//! accepts `submit(bucket_id, data, comm)` in **any order** — a backward
+//! pass delivers buckets in reverse layout order, output layer first.
+//! Synchronizers that need no cross-bucket statistics declare
+//! [`GradientSynchronizer::streams_buckets`] (Dense, via
+//! `start_bucket`/`finish_bucket`) and their buckets go on the wire the
+//! moment they are submitted — i.e. *while the backward pass is still
+//! executing* — with the exchange time hidden under that compute reported
+//! as [`SyncStats::overlap_seconds`]. Global-statistics synchronizers are
+//! staged and run the ordinary `sync_bucketed` pipeline at
+//! `SyncSession::finish`, once the whole gradient exists. Either way the
+//! hook-driven result is bit-identical to single-shot (CI-enforced across
+//! all synchronizers × caps × worlds × backends); mis-wired drivers —
+//! duplicate, missing, or wrongly-sized buckets — panic with the
+//! offending ids.
 //!
 //! The encoded payload *is* what crosses the transport, so
 //! [`SyncStats::wire_bits`] is derived from the bytes that actually moved
@@ -61,7 +80,7 @@ pub use signsgd::SignSgdEf;
 pub use terngrad::TernGrad;
 pub use topk::TopK;
 
-use cluster_comm::CommHandle;
+use cluster_comm::{CollectiveHandle, CommHandle};
 use std::ops::Range;
 
 /// Per-iteration synchronization accounting.
@@ -75,6 +94,13 @@ pub struct SyncStats {
     /// separable from `compress_seconds`. Overlapped network time that no
     /// call observes is genuinely free and does not appear here.
     pub exchange_seconds: f64,
+    /// Seconds of exchange time hidden under the caller's own compute:
+    /// for hook-driven steps, the wall time between a streamed bucket's
+    /// nonblocking launch and the drain at `finish` — i.e. network time
+    /// that elapsed while the backward pass was still executing.
+    /// Synchronizers themselves report 0; the streaming
+    /// [`SyncSession`] measures it.
+    pub overlap_seconds: f64,
     /// Bits this worker's own encoded contribution put on the wire,
     /// derived from the typed payload bytes the collective actually moved
     /// (sub-byte encodings are padded to whole bytes, so this is a
@@ -130,6 +156,43 @@ pub trait GradientSynchronizer: Send {
         self.sync_bucketed(grad, std::slice::from_ref(&(0..n)), comm)
     }
 
+    /// True when this synchronizer's per-bucket exchange needs **no
+    /// cross-bucket statistics**, so a bucket can be encoded and put on
+    /// the wire the moment its gradient lands — before the rest of the
+    /// gradient even exists. Dense is the streaming case (each bucket's
+    /// allreduce is independent); every global-statistics compressor
+    /// (selection sets, norms, scales, two-level means) returns the
+    /// default `false`, and a hook-driven [`SyncSession`] stages its
+    /// buckets until `finish`, where the whole gradient is available.
+    fn streams_buckets(&self) -> bool {
+        false
+    }
+
+    /// Streaming fast path, meaningful only when
+    /// [`streams_buckets`](Self::streams_buckets) is true: encode `bucket`
+    /// and launch its exchange nonblocking, returning the in-flight
+    /// handle. Buckets may be started in any order (all ranks observe the
+    /// same arrival order, so tags still match), and the result must be
+    /// bit-identical to [`sync_bucketed`](Self::sync_bucketed) over the
+    /// same partition. The default returns `None`.
+    fn start_bucket(&mut self, bucket: &[f32], comm: &mut CommHandle) -> Option<CollectiveHandle> {
+        let _ = (bucket, comm);
+        None
+    }
+
+    /// Completes a bucket launched by [`start_bucket`](Self::start_bucket),
+    /// folding the world's exchanged contribution into `bucket` in place.
+    /// Only called on streaming synchronizers.
+    fn finish_bucket(
+        &mut self,
+        bucket: &mut [f32],
+        handle: CollectiveHandle,
+        comm: &mut CommHandle,
+    ) {
+        let _ = (bucket, handle, comm);
+        unimplemented!("finish_bucket is only called when streams_buckets() is true")
+    }
+
     /// Closed-form wire bits per worker for an `n`-parameter model — the
     /// true size of the algorithm's encoded payload under whole-model
     /// exchange (Table 2 column 3, with index/sign overheads the encoding
@@ -144,11 +207,13 @@ pub trait GradientSynchronizer: Send {
 
 impl dyn GradientSynchronizer + '_ {
     /// Opens a bucketed synchronization session for one training step —
-    /// the streaming entry point: `submit` buckets as they become ready,
-    /// then [`SyncSession::finish`] drains the exchanges and returns the
-    /// aggregated [`SyncStats`].
-    pub fn begin_step<'s, 'g>(&'s mut self) -> SyncSession<'s, 'g> {
-        SyncSession::begin(self)
+    /// the streaming entry point: `submit` buckets (in any order) as their
+    /// gradients become ready, then [`SyncSession::finish`] drains the
+    /// exchanges into the caller's flat gradient and returns the
+    /// aggregated [`SyncStats`]. `bounds` is the step's bucket partition
+    /// (see [`bucket_bounds`]).
+    pub fn begin_step<'s>(&'s mut self, bounds: &[Range<usize>]) -> SyncSession<'s> {
+        SyncSession::begin(self, bounds)
     }
 }
 

@@ -1,11 +1,20 @@
 //! Bucketed synchronization sessions and the shared pipeline driver.
 //!
 //! [`SyncSession`] is the streaming per-step API over
-//! [`GradientSynchronizer`]: `begin_step()` → `submit(bucket_id, slice)`
-//! per ready bucket → `finish()` (drain exchanges, aggregate
-//! [`SyncStats`]). [`bucket_bounds`] turns a parameter layout into the
-//! deterministic, layer-boundary-aligned bucket partition the trainer
-//! drives the session with, and [`pipeline_allgather`] is the
+//! [`GradientSynchronizer`], shaped for per-layer gradient-ready hooks:
+//! `begin_step(bounds)` → `submit(bucket_id, data, comm)` the moment each
+//! bucket's gradient lands (any order — backward passes deliver buckets
+//! in *reverse* layout order) → `finish(grad, comm)` (drain exchanges
+//! into the caller's flat gradient, aggregate [`SyncStats`]). For
+//! streaming synchronizers ([`GradientSynchronizer::streams_buckets`],
+//! i.e. Dense) each `submit` launches the bucket's exchange immediately,
+//! so frames are on the wire while the backward pass is still executing;
+//! for global-statistics synchronizers the session stages buckets and
+//! runs the ordinary [`GradientSynchronizer::sync_bucketed`] pipeline at
+//! `finish`, once the whole gradient exists. Either way the result is
+//! bit-identical to the single-shot call. [`bucket_bounds`] turns a
+//! parameter layout into the deterministic, layer-boundary-aligned bucket
+//! partition, and [`pipeline_allgather`] is the
 //! encode → nonblocking-exchange → decode loop every gather-style
 //! synchronizer shares.
 
@@ -42,69 +51,171 @@ pub fn bucket_bounds(sizes: &[usize], cap_bytes: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// One training step's bucketed synchronization: collects the caller's
-/// bucket slices (ascending `bucket_id`, ascending layout order) and runs
-/// the synchronizer's bucketed pipeline over them on
-/// [`finish`](Self::finish).
-///
-/// Buckets submitted as separate slices are re-joined into the
-/// synchronizer's contiguous working view by copy; a caller that already
-/// holds the whole flat gradient can call
-/// [`GradientSynchronizer::sync_bucketed`] directly and skip both copies
-/// (the trainer does).
-pub struct SyncSession<'s, 'g> {
-    sync: &'s mut dyn GradientSynchronizer,
-    buckets: Vec<&'g mut [f32]>,
+/// Per-bucket session state.
+enum Slot {
+    /// Not yet submitted.
+    Pending,
+    /// Submitted and staged (global-statistics synchronizers: the pipeline
+    /// needs the whole gradient, so the copy waits for `finish`).
+    Staged(Vec<f32>),
+    /// Submitted and already on the wire (streaming synchronizers), with
+    /// the launch instant for the overlap measure.
+    InFlight(CollectiveHandle, Instant),
 }
 
-impl<'s, 'g> SyncSession<'s, 'g> {
-    /// Opens a session (see also the `begin_step` convenience on
-    /// `dyn GradientSynchronizer`).
-    pub fn begin(sync: &'s mut dyn GradientSynchronizer) -> Self {
-        SyncSession { sync, buckets: Vec::new() }
+/// One training step's bucketed synchronization, driven bucket-by-bucket
+/// as gradients become ready.
+///
+/// The session knows the step's full bucket partition up front
+/// ([`begin`](Self::begin) takes `bounds`), so buckets may be submitted in
+/// **any order** — a hooked backward pass delivers them in reverse layout
+/// order (the output layer's bucket first). Mis-wired drivers fail loudly:
+/// an unknown or repeated `bucket_id`, a wrong slice length, or a missing
+/// bucket at [`finish`](Self::finish) each panic with the offending ids.
+///
+/// For a streaming synchronizer ([`GradientSynchronizer::streams_buckets`])
+/// every submit launches the bucket's nonblocking exchange immediately —
+/// that is the backward-overlap path, and the time those frames spend in
+/// flight before `finish` drains them is reported as
+/// [`SyncStats::overlap_seconds`]. Otherwise submits stage copies and
+/// `finish` runs the synchronizer's ordinary bucketed pipeline over the
+/// re-assembled flat gradient, which is why results stay bit-identical to
+/// the single-shot call for every synchronizer.
+pub struct SyncSession<'s> {
+    sync: &'s mut dyn GradientSynchronizer,
+    bounds: Vec<Range<usize>>,
+    slots: Vec<Slot>,
+    compress_seconds: f64,
+    exchange_seconds: f64,
+    bits_before: Option<u64>,
+}
+
+impl<'s> SyncSession<'s> {
+    /// Opens a session over the step's bucket partition (see also the
+    /// `begin_step` convenience on `dyn GradientSynchronizer`). `bounds`
+    /// must partition `0..n` in ascending contiguous order
+    /// ([`bucket_bounds`] output).
+    pub fn begin(sync: &'s mut dyn GradientSynchronizer, bounds: &[Range<usize>]) -> Self {
+        let mut expect = 0usize;
+        for (i, r) in bounds.iter().enumerate() {
+            assert_eq!(r.start, expect, "bucket {i} leaves a gap/overlap in the partition");
+            assert!(r.end >= r.start, "bucket {i} is backwards");
+            expect = r.end;
+        }
+        let slots = bounds.iter().map(|_| Slot::Pending).collect();
+        SyncSession {
+            sync,
+            bounds: bounds.to_vec(),
+            slots,
+            compress_seconds: 0.0,
+            exchange_seconds: 0.0,
+            bits_before: None,
+        }
     }
 
-    /// Stages bucket `bucket_id` (must arrive in order: 0, 1, 2, …; the
-    /// id is explicit so a mis-wired driver fails loudly, not silently
-    /// permuted).
-    pub fn submit(&mut self, bucket_id: usize, bucket: &'g mut [f32]) {
-        assert_eq!(bucket_id, self.buckets.len(), "buckets must be submitted in layout order");
-        self.buckets.push(bucket);
+    /// The step's bucket partition.
+    pub fn bounds(&self) -> &[Range<usize>] {
+        &self.bounds
     }
 
-    /// Drains the step: runs the bucketed pipeline over everything
-    /// submitted and returns the aggregated stats. A single-bucket session
-    /// synchronizes the slice in place with no copies.
-    pub fn finish(self, comm: &mut CommHandle) -> SyncStats {
-        let SyncSession { sync, mut buckets } = self;
-        match buckets.len() {
-            0 => SyncStats::default(),
-            1 => {
-                let b = &mut *buckets[0];
-                let n = b.len();
-                sync.sync_bucketed(b, std::slice::from_ref(&(0..n)), comm)
-            }
-            _ => {
-                // Re-join the separately-borrowed slices into one
-                // contiguous working vector (the synchronizers' global
-                // statistics need it), pipeline, then scatter back.
+    /// Submits bucket `bucket_id`'s gradient slice (`data.len()` must
+    /// match the bucket's bounds). Streaming synchronizers put it on the
+    /// wire before returning; others stage a copy for `finish`.
+    pub fn submit(&mut self, bucket_id: usize, data: &[f32], comm: &mut CommHandle) {
+        assert!(
+            bucket_id < self.slots.len(),
+            "bucket id {bucket_id} out of range (step has {} buckets)",
+            self.slots.len()
+        );
+        assert!(
+            matches!(self.slots[bucket_id], Slot::Pending),
+            "bucket {bucket_id} submitted twice in one step"
+        );
+        let r = &self.bounds[bucket_id];
+        assert_eq!(
+            data.len(),
+            r.end - r.start,
+            "bucket {bucket_id} slice length disagrees with its bounds"
+        );
+        self.bits_before.get_or_insert_with(|| comm.stats().logical_wire_bits);
+        if self.sync.streams_buckets() {
+            let t0 = Instant::now();
+            let handle = self
+                .sync
+                .start_bucket(data, comm)
+                .expect("streams_buckets() synchronizer must implement start_bucket");
+            // The launch itself is synchronous caller time (billed to
+            // exchange_seconds); the overlap window opens only once the
+            // frames are actually in flight.
+            let launched = Instant::now();
+            self.exchange_seconds += (launched - t0).as_secs_f64();
+            self.slots[bucket_id] = Slot::InFlight(handle, launched);
+        } else {
+            let t0 = Instant::now();
+            self.slots[bucket_id] = Slot::Staged(data.to_vec());
+            self.compress_seconds += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Drains the step into `grad` (the full flat gradient, overwritten
+    /// with the synchronized result) and returns the aggregated stats.
+    /// Panics if any bucket was never submitted.
+    pub fn finish(self, grad: &mut [f32], comm: &mut CommHandle) -> SyncStats {
+        let SyncSession {
+            sync,
+            bounds,
+            slots,
+            mut compress_seconds,
+            mut exchange_seconds,
+            bits_before,
+        } = self;
+        let total = bounds.last().map(|r| r.end).unwrap_or(0);
+        assert_eq!(grad.len(), total, "flat gradient length disagrees with the partition");
+        let missing: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Pending))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(missing.is_empty(), "finish with unsubmitted buckets {missing:?}");
+        if bounds.is_empty() {
+            return SyncStats::default();
+        }
+        let bits_before = bits_before.expect("submissions recorded the wire baseline");
+
+        if sync.streams_buckets() {
+            // Everything is already in flight; whatever wall time passed
+            // between each launch and now was hidden under the caller's
+            // own compute (for hook-driven steps: the backward pass).
+            let drain_begin = Instant::now();
+            let mut overlap_seconds = 0.0f64;
+            for (r, slot) in bounds.iter().zip(slots) {
+                let Slot::InFlight(handle, launched) = slot else { unreachable!() };
+                overlap_seconds += (drain_begin - launched).as_secs_f64();
                 let t0 = Instant::now();
-                let mut bounds = Vec::with_capacity(buckets.len());
-                let mut scratch = Vec::with_capacity(buckets.iter().map(|b| b.len()).sum());
-                for b in &buckets {
-                    let lo = scratch.len();
-                    scratch.extend_from_slice(b);
-                    bounds.push(lo..scratch.len());
-                }
-                let join_seconds = t0.elapsed().as_secs_f64();
-                let mut stats = sync.sync_bucketed(&mut scratch, &bounds, comm);
-                let t1 = Instant::now();
-                for (b, r) in buckets.iter_mut().zip(&bounds) {
-                    b.copy_from_slice(&scratch[r.clone()]);
-                }
-                stats.compress_seconds += join_seconds + t1.elapsed().as_secs_f64();
-                stats
+                sync.finish_bucket(&mut grad[r.clone()], handle, comm);
+                exchange_seconds += t0.elapsed().as_secs_f64();
             }
+            SyncStats {
+                compress_seconds,
+                exchange_seconds,
+                overlap_seconds,
+                wire_bits: comm.stats().logical_wire_bits - bits_before,
+            }
+        } else {
+            // Re-assemble the staged copies into the caller's flat buffer
+            // and run the ordinary bucketed pipeline over it — global
+            // cross-bucket statistics and all.
+            let t0 = Instant::now();
+            for (r, slot) in bounds.iter().zip(slots) {
+                let Slot::Staged(data) = slot else { unreachable!() };
+                grad[r.clone()].copy_from_slice(&data);
+            }
+            compress_seconds += t0.elapsed().as_secs_f64();
+            let mut stats = sync.sync_bucketed(grad, &bounds, comm);
+            stats.compress_seconds += compress_seconds;
+            stats.exchange_seconds += exchange_seconds;
+            stats
         }
     }
 }
@@ -228,5 +339,91 @@ mod tests {
     #[test]
     fn empty_layout_has_no_buckets() {
         assert!(bucket_bounds(&[], 1024).is_empty());
+    }
+
+    use crate::dense::DenseSgd;
+    use cluster_comm::{run_cluster, NetworkProfile};
+
+    fn input(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((rank * 31 + i * 7) % 23) as f32 * 0.41 - 2.0).collect()
+    }
+
+    /// Reverse submission order (the hook arrival shape) through the
+    /// streaming dense path equals the single-shot whole-model call.
+    #[test]
+    fn dense_streaming_out_of_order_matches_single_shot() {
+        let n = 300;
+        let bounds = vec![0..100, 100..180, 180..300];
+        let whole = run_cluster(3, NetworkProfile::infiniband_100g(), move |h| {
+            let mut g = input(h.rank(), n);
+            DenseSgd::new().synchronize(&mut g, h);
+            g
+        });
+        let b = bounds.clone();
+        let streamed = run_cluster(3, NetworkProfile::infiniband_100g(), move |h| {
+            let mut g = input(h.rank(), n);
+            let mut sync = DenseSgd::new();
+            let mut session = SyncSession::begin(&mut sync, &b);
+            for (id, r) in b.iter().enumerate().rev() {
+                session.submit(id, &g[r.clone()], h);
+            }
+            assert!(h.inflight() >= 2, "streamed buckets should be concurrently in flight");
+            let stats = session.finish(&mut g, h);
+            assert!(stats.overlap_seconds >= 0.0);
+            assert_eq!(stats.wire_bits, 32 * n as u64);
+            (g, h.max_inflight())
+        });
+        for (rank, (g, max_inflight)) in streamed.into_iter().enumerate() {
+            let a: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+            let e: Vec<u32> = whole[rank].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, e, "rank {rank}");
+            assert!(max_inflight >= 3, "all buckets should overlap");
+        }
+    }
+
+    /// Single-rank handle on the current thread, so `#[should_panic]`
+    /// observes the session's own diagnostic (a panic inside `run_cluster`
+    /// worker threads surfaces as the generic join failure instead).
+    fn lone_handle() -> cluster_comm::CommHandle {
+        cluster_comm::Cluster::new(1, NetworkProfile::infiniband_100g()).handle(0)
+    }
+
+    #[test]
+    #[should_panic(expected = "submitted twice")]
+    fn duplicate_submit_panics() {
+        let h = &mut lone_handle();
+        let g = [0.0f32; 10];
+        let mut sync = DenseSgd::new();
+        let mut session = SyncSession::begin(&mut sync, &[0..4, 4..10]);
+        session.submit(1, &g[4..10], h);
+        session.submit(1, &g[4..10], h);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsubmitted buckets [0]")]
+    fn missing_bucket_at_finish_panics() {
+        let h = &mut lone_handle();
+        let mut g = vec![0.0f32; 10];
+        let mut sync = DenseSgd::new();
+        let mut session = SyncSession::begin(&mut sync, &[0..4, 4..10]);
+        session.submit(1, &g[4..10], h);
+        session.finish(&mut g, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "length disagrees")]
+    fn wrong_slice_length_panics() {
+        let h = &mut lone_handle();
+        let g = [0.0f32; 10];
+        let mut sync = DenseSgd::new();
+        let mut session = SyncSession::begin(&mut sync, &[0..4, 4..10]);
+        session.submit(0, &g[0..3], h);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap/overlap")]
+    fn non_partition_bounds_panic() {
+        let mut sync = DenseSgd::new();
+        let _ = SyncSession::begin(&mut sync, &[0..4, 5..10]);
     }
 }

@@ -141,6 +141,7 @@ pub fn scaled_convergence_config(
         seed,
         backend: CommBackend::InProc,
         bucket_bytes: None,
+        overlap_backward: false,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],
     }

@@ -17,6 +17,9 @@
 //! * [`registry`] — unified algorithm registry (baselines + A2SGD family).
 //! * [`trainer`] — the synchronous data-parallel training loop over the
 //!   simulated cluster, reproducing the paper's evaluation pipeline.
+//! * [`overlap`] — per-layer gradient-ready hook driver
+//!   ([`overlap::HookedStep`]): submits buckets to the sync session as the
+//!   backward pass produces them, overlapping exchange with backprop.
 //! * [`metrics`] — accuracy/perplexity/throughput/scaling-efficiency.
 //! * [`theory`] — convergence-analysis probes (Assumption 3, Lyapunov h_t)
 //!   on analytically-solvable distributed quadratics.
@@ -27,6 +30,7 @@ pub mod algorithm;
 pub mod experiments;
 pub mod mean2;
 pub mod metrics;
+pub mod overlap;
 pub mod registry;
 pub mod report;
 pub mod theory;
@@ -36,5 +40,6 @@ pub mod variants;
 pub use algorithm::A2sgd;
 pub use cluster_comm::CommBackend;
 pub use mean2::{enc_into, restore_with_global_means, split_means, TwoMeans};
+pub use overlap::{HookLayout, HookedStep};
 pub use registry::AlgoKind;
 pub use trainer::{OptKind, TrainConfig, TrainReport};

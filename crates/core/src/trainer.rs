@@ -10,6 +10,7 @@
 //! clock.
 
 use crate::metrics;
+use crate::overlap::{HookLayout, HookedStep};
 use crate::registry::AlgoKind;
 use cluster_comm::{run_cluster, CommBackend, CommHandle, NetworkProfile};
 use mini_nn::flat::{flatten_grads, flatten_params, load_params, param_count, scatter_grads};
@@ -115,6 +116,21 @@ pub struct TrainConfig {
     /// word, and the A2SGD family (whose packet is already O(1)) ignores
     /// bucketing entirely.
     pub bucket_bytes: Option<usize>,
+    /// Overlap bucket synchronization with the backward pass itself (the
+    /// DDP hook shape): when `true`, a [`crate::overlap::HookedStep`]
+    /// rides [`mini_nn::module::Module::backward_hooked`] and submits each
+    /// bucket to the sync session the moment its last layer's gradient
+    /// lands — the output layer's bucket is on the wire (streaming
+    /// synchronizers) or staged (global-statistics synchronizers) while
+    /// earlier layers are still backpropagating, and the flat gradient is
+    /// double-buffered across iterations so step *t+1*'s hook writes never
+    /// alias step *t*'s scatter source. Results are **bit-identical**
+    /// either way, for every synchronizer, bucket cap, world size and
+    /// backend (CI-enforced); this knob only moves exchange time under
+    /// backward compute (reported as `avg_overlap_seconds`). Default
+    /// `false`: the paper's regenerated numbers keep the single-shot
+    /// reference path.
+    pub overlap_backward: bool,
     /// Modeled network (in-proc backend only; TCP measures instead).
     pub profile: NetworkProfile,
     /// Iterations at which worker 0 records a gradient histogram
@@ -159,6 +175,11 @@ pub struct TrainReport {
     /// (worker 0) — the communication half of the sync cost, separable
     /// from `avg_compress_seconds` in the figure/table outputs.
     pub avg_exchange_seconds: f64,
+    /// Mean exchange time per iteration hidden under backward compute
+    /// (worker 0): wall time streamed buckets spent in flight before the
+    /// post-backward drain. Non-zero only with
+    /// [`TrainConfig::overlap_backward`] and a streaming synchronizer.
+    pub avg_overlap_seconds: f64,
     /// Simulated throughput in samples/second (global).
     pub throughput: f64,
     /// Max replica parameter divergence before the final sync — evidence
@@ -176,6 +197,7 @@ struct WorkerOut {
     wire_bits_total: u64,
     compress_seconds_total: f64,
     exchange_seconds_total: f64,
+    overlap_seconds_total: f64,
     divergence: f64,
     histograms: Vec<(usize, Histogram)>,
 }
@@ -219,6 +241,11 @@ fn build_report(cfg: &TrainConfig, w0: &WorkerOut, divergence: f64) -> TrainRepo
         },
         avg_exchange_seconds: if w0.iters > 0 {
             w0.exchange_seconds_total / w0.iters as f64
+        } else {
+            0.0
+        },
+        avg_overlap_seconds: if w0.iters > 0 {
+            w0.overlap_seconds_total / w0.iters as f64
         } else {
             0.0
         },
@@ -286,13 +313,25 @@ fn run_worker(
         Some(cap) => gradcomp::bucket_bounds(&mini_nn::flat::param_sizes(model.as_mut()), cap),
         None => vec![0..n; 1],
     };
+    // Hooked mode: the name → offset → bucket map the per-layer
+    // gradient-ready callbacks drive the session through.
+    let hook_layout =
+        cfg.overlap_backward.then(|| HookLayout::of(model.as_mut(), cfg.bucket_bytes));
 
-    let mut flat = Vec::with_capacity(n);
+    // Double-buffered flat gradient: hooked step *t* writes into buffer
+    // t % 2 while buffer (t+1) % 2 still holds the previous step's
+    // synchronized gradient, so hook writes never alias the buffer a
+    // late-draining consumer could still be reading. (Today `finish` runs
+    // before the optimizer step — bit-identity demands it — so this is
+    // the WAR-hazard removal that makes a future tail-drain-into-next-
+    // forward overlap possible, not a semantics change.)
+    let mut flats = [Vec::with_capacity(n), Vec::with_capacity(n)];
     let mut epochs = Vec::with_capacity(cfg.epochs);
     let mut iters_done = 0usize;
     let mut wire_bits_total = 0u64;
     let mut compress_total = 0.0f64;
     let mut exchange_total = 0.0f64;
+    let mut overlap_total = 0.0f64;
     let mut histograms: Vec<(usize, Histogram)> = Vec::new();
 
     let (train_len, iters_per_epoch) = match (vision, lm) {
@@ -347,35 +386,43 @@ fn run_worker(
                 m.lm_batch(&idxs)
             };
 
-            // ---- forward / backward ------------------------------------
+            // ---- forward / backward (+ hooked sync) --------------------
             model.zero_grad();
             let logits = model.forward(&x, Mode::Train);
             let lo = softmax_cross_entropy(&logits, &targets);
             loss_sum += lo.loss as f64;
-            let _ = model.backward(&lo.dlogits);
-            flatten_grads(model.as_mut(), &mut flat);
-            comm.advance_compute(t0.elapsed().as_secs_f64());
-
-            // ---- Figure 1 capture --------------------------------------
-            if rank == 0 && cfg.grad_hist_iters.contains(&global_iter) {
-                let s = mini_tensor::stats::summary(&flat);
-                let range = (3.0 * s.std()).max(1e-6) as f32;
-                let mut h = Histogram::new(-range, range, 41);
-                h.add_all(&flat);
-                histograms.push((global_iter, h));
-            }
-
-            // ---- synchronize + step ------------------------------------
-            // Drive the bucketed pipeline over the flat gradient we
-            // already hold contiguously (the SyncSession submit/finish
-            // surface is for callers whose buckets arrive as separate
-            // slices): bucket i's exchange is in flight while bucket i+1
-            // encodes inside `sync_bucketed`.
-            let stats = sync.sync_bucketed(&mut flat, &bounds, comm);
+            let want_hist = rank == 0 && cfg.grad_hist_iters.contains(&global_iter);
+            let flat = &mut flats[global_iter % 2];
+            let stats = if let Some(layout) = &hook_layout {
+                // The session opens before backward; each bucket is
+                // submitted — streaming synchronizers put it straight on
+                // the wire — the moment its last layer's gradient lands,
+                // while earlier layers are still backpropagating. `finish`
+                // drains the tail after backward returns.
+                let mut step = HookedStep::begin(layout, sync.as_mut(), flat, comm);
+                let _ = model.backward_hooked(&lo.dlogits, &mut step);
+                step.advance_compute(t0.elapsed().as_secs_f64());
+                if want_hist {
+                    histograms.push((global_iter, grad_histogram(step.local_grad())));
+                }
+                step.finish()
+            } else {
+                let _ = model.backward(&lo.dlogits);
+                flatten_grads(model.as_mut(), flat);
+                comm.advance_compute(t0.elapsed().as_secs_f64());
+                if want_hist {
+                    histograms.push((global_iter, grad_histogram(flat)));
+                }
+                // Drive the bucketed pipeline over the flat gradient we
+                // already hold contiguously: bucket i's exchange is in
+                // flight while bucket i+1 encodes inside `sync_bucketed`.
+                sync.sync_bucketed(flat, &bounds, comm)
+            };
             wire_bits_total += stats.wire_bits;
             compress_total += stats.compress_seconds;
             exchange_total += stats.exchange_seconds;
-            scatter_grads(model.as_mut(), &flat);
+            overlap_total += stats.overlap_seconds;
+            scatter_grads(model.as_mut(), flat);
             let epoch_frac = epoch as f32 + it as f32 / iters_per_epoch as f32;
             let t1 = Instant::now();
             opt.step(model.as_mut(), cfg.lr.lr_at(epoch_frac));
@@ -394,14 +441,15 @@ fn run_worker(
     }
 
     // ---- Algorithm 1 lines 9–10: final re-synchronization ----------------
-    flatten_params(model.as_mut(), &mut flat);
+    let flat = &mut flats[0];
+    flatten_params(model.as_mut(), flat);
     let local = flat.clone();
-    comm.allreduce_avg(&mut flat);
+    comm.allreduce_avg(flat);
     let mut div = 0.0f64;
-    for (a, b) in local.iter().zip(&flat) {
+    for (a, b) in local.iter().zip(flat.iter()) {
         div = div.max((a - b).abs() as f64);
     }
-    load_params(model.as_mut(), &flat);
+    load_params(model.as_mut(), flat);
 
     // ---- cross-rank report agreement -------------------------------------
     // The report scalars must agree on every rank (on TCP each rank is its
@@ -427,9 +475,19 @@ fn run_worker(
         wire_bits_total,
         compress_seconds_total: compress_total,
         exchange_seconds_total: exchange_total,
+        overlap_seconds_total: overlap_total,
         divergence: div,
         histograms,
     }
+}
+
+/// Figure-1 capture: a ±3σ histogram of the local (pre-sync) gradient.
+fn grad_histogram(flat: &[f32]) -> Histogram {
+    let s = mini_tensor::stats::summary(flat);
+    let range = (3.0 * s.std()).max(1e-6) as f32;
+    let mut h = Histogram::new(-range, range, 41);
+    h.add_all(flat);
+    h
 }
 
 fn build_model(cfg: &TrainConfig) -> Box<dyn Module> {
@@ -505,6 +563,7 @@ mod tests {
             seed: 42,
             backend: CommBackend::InProc,
             bucket_bytes: None,
+            overlap_backward: false,
             profile: NetworkProfile::infiniband_100g(),
             grad_hist_iters: vec![0, 5],
         }
@@ -569,6 +628,35 @@ mod tests {
             let mut cfg = tiny_cfg(algo, 2);
             cfg.bucket_bytes = Some(4096);
             assert_eq!(whole.wire_bits_per_iter, train(&cfg).wire_bits_per_iter);
+        }
+    }
+
+    #[test]
+    fn hook_driven_training_is_bit_identical_to_single_shot() {
+        // overlap_backward only moves exchange time under backward
+        // compute; the training trajectory must be bit-identical for both
+        // the streaming (Dense) and staged (A2SGD/QSGD) session paths,
+        // with and without bucketing.
+        for algo in [AlgoKind::Dense, AlgoKind::A2sgd, AlgoKind::Qsgd(4)] {
+            for cap in [None, Some(4096)] {
+                let reference = train(&tiny_cfg(algo, 2));
+                let mut cfg = tiny_cfg(algo, 2);
+                cfg.overlap_backward = true;
+                cfg.bucket_bytes = cap;
+                let hooked = train(&cfg);
+                assert_eq!(reference.final_metric, hooked.final_metric, "{}", algo.name());
+                assert_eq!(
+                    reference.replica_divergence,
+                    hooked.replica_divergence,
+                    "{}",
+                    algo.name()
+                );
+                let la: Vec<u64> =
+                    reference.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+                let lb: Vec<u64> = hooked.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+                assert_eq!(la, lb, "{} cap {cap:?}", algo.name());
+                assert_eq!(reference.grad_histograms.len(), hooked.grad_histograms.len());
+            }
         }
     }
 

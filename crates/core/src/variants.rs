@@ -81,6 +81,7 @@ impl GradientSynchronizer for A2sgdAllgather {
         SyncStats {
             compress_seconds: compress_head + residual_seconds,
             exchange_seconds,
+            overlap_seconds: 0.0,
             wire_bits,
         }
     }
@@ -160,7 +161,12 @@ impl GradientSynchronizer for A2sgdCarry {
         let mask = crate::mean2::SignMask::capture(&self.acc);
         grad.fill(0.0);
         restore_with_global_means(grad, &mask, gp, gn);
-        SyncStats { compress_seconds: compress_head + ef_seconds, exchange_seconds, wire_bits }
+        SyncStats {
+            compress_seconds: compress_head + ef_seconds,
+            exchange_seconds,
+            overlap_seconds: 0.0,
+            wire_bits,
+        }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {
@@ -280,6 +286,7 @@ impl GradientSynchronizer for KLevelSgd {
         SyncStats {
             compress_seconds: compress_head + residual_seconds,
             exchange_seconds,
+            overlap_seconds: 0.0,
             wire_bits,
         }
     }

@@ -1,5 +1,6 @@
 //! Basic residual block (ResNet-20 style).
 
+use crate::hook::{GradHook, NullHook};
 use crate::layers::{BatchNorm2d, Conv2d, Relu};
 use crate::module::{Mode, Module};
 use crate::param::Param;
@@ -179,6 +180,10 @@ impl Module for ResidualBlock {
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        self.backward_hooked(dout, &mut NullHook)
+    }
+
+    fn backward_hooked(&mut self, dout: &Tensor, hook: &mut dyn GradHook) -> Tensor {
         assert_eq!(dout.numel(), self.out_mask.len(), "backward before forward");
         // Through the output ReLU.
         let mut d = dout.clone();
@@ -187,20 +192,22 @@ impl Module for ResidualBlock {
                 *v = 0.0;
             }
         }
-        // Main branch.
-        let dm = self.bn2.backward(&d);
-        let dm = self.conv2.backward(&dm);
+        // Main branch: gradients become final in backward-execution order
+        // (bn2 first, conv1 last), each announced as it lands.
+        let dm = self.bn2.backward_hooked(&d, hook);
+        let dm = self.conv2.backward_hooked(&dm, hook);
         let dm = self.relu1.backward(&dm);
-        let dm = self.bn1.backward(&dm);
-        let dx_main = self.conv1.backward(&dm);
-        // Skip branch.
+        let dm = self.bn1.backward_hooked(&dm, hook);
+        let dx_main = self.conv1.backward_hooked(&dm, hook);
+        // Skip branch runs after the main branch, so projection-shortcut
+        // parameters are the block's last to report.
         let dx_skip = match &mut self.shortcut {
             Shortcut::Same => d,
             Shortcut::Pad { stride, in_dims, .. } => pad_shortcut_backward(&d, *stride, in_dims),
             Shortcut::Proj(p) => {
                 let (c, bn) = p.as_mut();
-                let ds = bn.backward(&d);
-                c.backward(&ds)
+                let ds = bn.backward_hooked(&d, hook);
+                c.backward_hooked(&ds, hook)
             }
         };
         mini_tensor::ops::add(&dx_main, &dx_skip)

@@ -1,5 +1,6 @@
 //! Sequential container.
 
+use crate::hook::{GradHook, NullHook};
 use crate::module::{Mode, Module};
 use crate::param::Param;
 use mini_tensor::Tensor;
@@ -48,9 +49,17 @@ impl Module for Sequential {
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        self.backward_hooked(dout, &mut NullHook)
+    }
+
+    fn backward_hooked(&mut self, dout: &Tensor, hook: &mut dyn GradHook) -> Tensor {
+        // Children run in reverse topological order, each announcing its
+        // own parameters as its backward completes — the output end of the
+        // network reports (and can start synchronizing) while the input
+        // end is still backpropagating.
         let mut cur = dout.clone();
         for m in self.children.iter_mut().rev() {
-            cur = m.backward(&cur);
+            cur = m.backward_hooked(&cur, hook);
         }
         cur
     }

@@ -6,7 +6,12 @@
 //!
 //! Contents:
 //!
-//! * [`module::Module`] — forward/backward/visit-params contract,
+//! * [`module::Module`] — forward/backward/visit-params contract, with a
+//!   hooked backward variant
+//!   ([`module::Module::backward_hooked`]) that announces each layer's
+//!   parameter gradients to a [`hook::GradHook`] the moment they are
+//!   final — the per-layer observer distributed trainers use to overlap
+//!   gradient synchronization with the backward pass itself,
 //! * layers: [`layers::Linear`], [`layers::Conv2d`], [`layers::BatchNorm2d`],
 //!   [`layers::Relu`], [`layers::MaxPool2d`], [`layers::GlobalAvgPool`],
 //!   [`layers::Dropout`], [`layers::Flatten`], [`layers::Embedding`],
@@ -25,6 +30,7 @@
 
 pub mod flat;
 pub mod gradcheck;
+pub mod hook;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -34,5 +40,6 @@ pub mod optim;
 pub mod param;
 pub mod schedule;
 
+pub use hook::{GradHook, NullHook};
 pub use module::{Mode, Module};
 pub use param::Param;

@@ -1,6 +1,7 @@
 //! LSTM language model (PTB workload).
 
 use super::Preset;
+use crate::hook::{GradHook, NullHook};
 use crate::layers::{Dropout, Embedding, Linear, Lstm};
 use crate::module::{Mode, Module};
 use crate::param::Param;
@@ -86,15 +87,21 @@ impl Module for LstmLm {
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        self.backward_hooked(dout, &mut NullHook)
+    }
+
+    fn backward_hooked(&mut self, dout: &Tensor, hook: &mut dyn GradHook) -> Tensor {
+        // Reverse topological order: the projection's gradients are final
+        // (and announced) first, the embedding table's last.
         let (b, t) = (self.cached_b, self.cached_t);
         assert!(b > 0, "backward before forward");
-        let d = self.proj.backward(dout);
+        let d = self.proj.backward_hooked(dout, hook);
         let mut cur = d.reshape([b, t, self.hidden]);
         for (lstm, drop) in self.lstms.iter_mut().zip(&mut self.dropouts).rev() {
             cur = drop.backward(&cur);
-            cur = lstm.backward(&cur);
+            cur = lstm.backward_hooked(&cur, hook);
         }
-        self.emb.backward(&cur)
+        self.emb.backward_hooked(&cur, hook)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -1,5 +1,6 @@
 //! The layer contract.
 
+use crate::hook::GradHook;
 use crate::param::Param;
 use mini_tensor::Tensor;
 
@@ -29,6 +30,24 @@ pub trait Module: Send {
     /// Back-propagates `dout` (gradient w.r.t. the forward output), returning
     /// the gradient w.r.t. the forward input.
     fn backward(&mut self, dout: &Tensor) -> Tensor;
+
+    /// [`backward`](Self::backward) with a gradient-ready observer: `hook`
+    /// is told about each trainable parameter as soon as this pass has
+    /// finished accumulating its gradient (see [`crate::hook`]).
+    ///
+    /// The default — backward, then announce every own parameter — is
+    /// correct for leaf layers (their parameters are final the moment
+    /// their backward returns). Containers override it to thread the hook
+    /// through children in backward-execution order, so announcements are
+    /// per layer (reverse topological), not one burst at the end.
+    ///
+    /// Must compute exactly what `backward` computes: the hook observes
+    /// gradients, it never changes them.
+    fn backward_hooked(&mut self, dout: &Tensor, hook: &mut dyn GradHook) -> Tensor {
+        let dx = self.backward(dout);
+        self.visit_params(&mut |p| hook.grad_ready(p));
+        dx
+    }
 
     /// Visits every trainable parameter in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
