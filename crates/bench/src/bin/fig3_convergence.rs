@@ -1,18 +1,27 @@
 //! Figures 3 / 6 / 7 / 8 regenerator: convergence accuracy (top-1 % or
-//! perplexity) per epoch for Dense, TopK, QSGD, GaussianK and A2SGD.
+//! perplexity) per epoch for Dense, TopK, QSGD, GaussianK, A2SGD — plus
+//! the two-level `hier(dense, a2sgd)` topology alongside the flat five.
 //!
 //! `--workers 8` reproduces Figure 3; 2/4/16 reproduce Figures 6/7/8.
 //! `--model fnn3|vgg16|resnet20|lstm|all` selects the workload (default:
 //! the two fast ones). Paper shape to verify: A2SGD tracks Dense most
 //! closely; TopK is the best of the rest; QSGD trails.
 //!
+//! `--backend tcp` runs every combination as a real multi-process TCP
+//! cluster over loopback (fork-launcher re-exec): the companion
+//! `*_traffic.csv` then carries *measured socket bytes* next to the
+//! logical wire-bit accounting. `--algo <name>` restricts the sweep to one
+//! algorithm (with `--group-size N` for the hierarchical topology) — the
+//! same flags the launcher passes its children.
+//!
 //! Run: `cargo run --release -p a2sgd-bench --bin fig3_convergence -- --workers 8 --model fnn3`
 
 use a2sgd::experiments::scaled_convergence_config;
 use a2sgd::registry::AlgoKind;
 use a2sgd::report::Table;
-use a2sgd::trainer::train;
+use a2sgd::trainer::{train, Topology, TrainReport};
 use a2sgd_bench::{results_dir, Args};
+use cluster_comm::{run_multiprocess, CommBackend};
 use mini_nn::models::ModelKind;
 
 fn models_from(arg: &str) -> Vec<ModelKind> {
@@ -27,10 +36,162 @@ fn models_from(arg: &str) -> Vec<ModelKind> {
     }
 }
 
+fn model_cli_name(model: ModelKind) -> &'static str {
+    match model {
+        ModelKind::Fnn3 => "fnn3",
+        ModelKind::Vgg16 => "vgg16",
+        ModelKind::ResNet20 => "resnet20",
+        ModelKind::LstmPtb => "lstm",
+    }
+}
+
+/// The sweep: the paper's five flat algorithms plus the two-level
+/// hierarchy with A2SGD across group leaders (two groups when the worker
+/// count allows).
+fn combos(workers: usize) -> Vec<(AlgoKind, Topology)> {
+    let mut v: Vec<(AlgoKind, Topology)> =
+        AlgoKind::paper_five().into_iter().map(|a| (a, Topology::Flat)).collect();
+    if workers >= 2 && workers % 2 == 0 {
+        v.push((AlgoKind::A2sgd, Topology::Hier { group_size: workers / 2 }));
+    }
+    v
+}
+
+// ---- report <-> f32 lanes (bit-exact, for the fork-launcher's typed
+// result frames) ------------------------------------------------------
+
+fn push_u64(out: &mut Vec<f32>, v: u64) {
+    out.push(f32::from_bits((v >> 32) as u32));
+    out.push(f32::from_bits(v as u32));
+}
+
+fn take_u64(it: &mut std::slice::Iter<'_, f32>) -> u64 {
+    let hi = it.next().expect("truncated report").to_bits() as u64;
+    let lo = it.next().expect("truncated report").to_bits() as u64;
+    (hi << 32) | lo
+}
+
+fn encode_report(rep: &TrainReport) -> Vec<f32> {
+    let mut out = Vec::new();
+    push_u64(&mut out, rep.epochs.len() as u64);
+    for e in &rep.epochs {
+        push_u64(&mut out, e.metric.to_bits());
+    }
+    push_u64(&mut out, rep.final_metric.to_bits());
+    push_u64(&mut out, rep.wire_bits_per_iter);
+    push_u64(&mut out, rep.intra_wire_bits_per_iter);
+    push_u64(&mut out, rep.inter_wire_bits_per_iter);
+    push_u64(&mut out, rep.measured_wire_bytes);
+    push_u64(&mut out, rep.iters as u64);
+    push_u64(&mut out, rep.avg_compress_seconds.to_bits());
+    push_u64(&mut out, rep.avg_exchange_seconds.to_bits());
+    out
+}
+
+/// The slice of the report the figure needs, decoded from a child's lanes.
+struct ComboOut {
+    epoch_metrics: Vec<f64>,
+    final_metric: f64,
+    wire_bits_per_iter: u64,
+    intra_wire_bits_per_iter: u64,
+    inter_wire_bits_per_iter: u64,
+    measured_wire_bytes: u64,
+    iters: u64,
+    avg_compress_seconds: f64,
+    avg_exchange_seconds: f64,
+}
+
+fn decode_report(lanes: &[f32]) -> ComboOut {
+    let mut it = lanes.iter();
+    let epochs = take_u64(&mut it) as usize;
+    let epoch_metrics = (0..epochs).map(|_| f64::from_bits(take_u64(&mut it))).collect();
+    ComboOut {
+        epoch_metrics,
+        final_metric: f64::from_bits(take_u64(&mut it)),
+        wire_bits_per_iter: take_u64(&mut it),
+        intra_wire_bits_per_iter: take_u64(&mut it),
+        inter_wire_bits_per_iter: take_u64(&mut it),
+        measured_wire_bytes: take_u64(&mut it),
+        iters: take_u64(&mut it),
+        avg_compress_seconds: f64::from_bits(take_u64(&mut it)),
+        avg_exchange_seconds: f64::from_bits(take_u64(&mut it)),
+    }
+}
+
+fn from_report(rep: &TrainReport) -> ComboOut {
+    decode_report(&encode_report(rep))
+}
+
+/// Runs one (model, algo, topology) combination on the selected backend
+/// and returns rank 0's report slice. The TCP path spawns `workers` child
+/// processes of this binary (each re-enters `main`, parses the same combo
+/// from its argv, and lands in the `run_multiprocess` child branch here).
+fn run_combo(
+    model: ModelKind,
+    algo: AlgoKind,
+    topology: Topology,
+    workers: usize,
+    tcp: bool,
+) -> ComboOut {
+    let mut cfg = scaled_convergence_config(model, algo, workers, 17);
+    cfg.topology = topology;
+    if !tcp {
+        return from_report(&train(&cfg));
+    }
+    cfg.backend = CommBackend::Tcp;
+    let w = workers.to_string();
+    let mut child_args = vec![
+        "--backend",
+        "tcp",
+        "--model",
+        model_cli_name(model),
+        "--algo",
+        algo_cli_name(algo),
+        "--workers",
+        &w,
+    ];
+    let gs;
+    if let Topology::Hier { group_size } = topology {
+        gs = group_size.to_string();
+        child_args.extend_from_slice(&["--group-size", &gs]);
+    }
+    let outs = run_multiprocess(workers, &child_args, move |_rank| encode_report(&train(&cfg)));
+    decode_report(&outs[0])
+}
+
+fn algo_cli_name(algo: AlgoKind) -> &'static str {
+    match algo {
+        AlgoKind::Dense => "dense",
+        AlgoKind::TopK(_) => "topk",
+        AlgoKind::GaussianK(_) => "gaussiank",
+        AlgoKind::Qsgd(_) => "qsgd",
+        AlgoKind::A2sgd => "a2sgd",
+        other => panic!("no CLI name for {other:?}"),
+    }
+}
+
+fn combo_label(algo: AlgoKind, topology: Topology) -> String {
+    match topology {
+        Topology::Flat => algo.name().to_string(),
+        Topology::Hier { .. } => format!("hier(dense, {})", algo.name()),
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let workers: usize = args.get_or("workers", 8);
+    let tcp = args.get("backend") == Some("tcp");
     let models = models_from(args.get("model").unwrap_or("fast"));
+    // `--algo` narrows the sweep to one combination — how the TCP
+    // launcher's children find their combo, and a handy manual filter.
+    let only: Option<(AlgoKind, Topology)> = args.get("algo").map(|a| {
+        let algo = AlgoKind::parse(a).unwrap_or_else(|| panic!("unknown --algo {a}"));
+        let topology = match args.get_or("group-size", 0usize) {
+            0 => Topology::Flat,
+            gs => Topology::Hier { group_size: gs },
+        };
+        (algo, topology)
+    });
     let fig = match workers {
         2 => "Figure 6",
         4 => "Figure 7",
@@ -38,30 +199,35 @@ fn main() {
         16 => "Figure 8",
         _ => "custom",
     };
-    println!("== {fig}: Convergence with {workers} workers ==\n");
+    let backend_name = if tcp { "tcp" } else { "inproc" };
+    println!("== {fig}: Convergence with {workers} workers ({backend_name}) ==\n");
 
     for model in models {
-        let algos = AlgoKind::paper_five();
+        let sweep: Vec<(AlgoKind, Topology)> = only.map_or_else(|| combos(workers), |c| vec![c]);
         let metric_name = if model.is_language_model() { "perplexity" } else { "top-1 %" };
         println!("--- {} ({metric_name}) ---", model.name());
 
-        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
-        for algo in algos {
-            let cfg = scaled_convergence_config(model, algo, workers, 17);
-            let rep = train(&cfg);
+        let mut curves: Vec<(String, ComboOut)> = Vec::new();
+        for (algo, topology) in sweep {
+            let label = combo_label(algo, topology);
+            let out = run_combo(model, algo, topology, workers, tcp);
             eprintln!(
-                "  {} final {metric_name} = {:.2} (wire {} bits/iter/worker, \
-                 t_compress {:.1}µs + t_exchange {:.1}µs /iter)",
-                algo.name(),
-                rep.final_metric,
-                rep.wire_bits_per_iter,
-                rep.avg_compress_seconds * 1e6,
-                rep.avg_exchange_seconds * 1e6
+                "  {label} final {metric_name} = {:.2} (wire {} bits/iter/worker \
+                 [intra {} | inter {}], measured {} B, t_compress {:.1}µs + \
+                 t_exchange {:.1}µs /iter)",
+                out.final_metric,
+                out.wire_bits_per_iter,
+                out.intra_wire_bits_per_iter,
+                out.inter_wire_bits_per_iter,
+                out.measured_wire_bytes,
+                out.avg_compress_seconds * 1e6,
+                out.avg_exchange_seconds * 1e6
             );
-            curves.push((algo.name().to_string(), rep.epochs.iter().map(|e| e.metric).collect()));
+            curves.push((label, out));
         }
 
-        let epochs = curves[0].1.len();
+        let suffix = model.name().to_lowercase().replace('-', "");
+        let epochs = curves[0].1.epoch_metrics.len();
         let mut header: Vec<String> = vec!["epoch".into()];
         header.extend(curves.iter().map(|(n, _)| n.clone()));
         let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -69,14 +235,40 @@ fn main() {
         for e in 0..epochs {
             let mut row = vec![(e + 1).to_string()];
             for (_, c) in &curves {
-                row.push(format!("{:.2}", c[e]));
+                row.push(format!("{:.2}", c.epoch_metrics[e]));
             }
             t.row(&row);
         }
         println!("{}", t.render());
-        let path = results_dir()
-            .join(format!("fig3_w{workers}_{}.csv", model.name().to_lowercase().replace('-', "")));
+        let path = results_dir().join(format!("fig3_w{workers}_{suffix}.csv"));
         t.save_csv(&path).expect("write csv");
-        println!("CSV: {}\n", path.display());
+
+        // Traffic companion: logical bits (with the hierarchy's intra /
+        // inter split) next to the bytes the transport actually moved —
+        // measured socket traffic under `--backend tcp`.
+        let mut tr = Table::new(
+            &format!("{fig} — {} wire traffic per worker ({backend_name})", model.name()),
+            &[
+                "algorithm",
+                "wire_bits_per_iter",
+                "intra_wire_bits_per_iter",
+                "inter_wire_bits_per_iter",
+                "measured_wire_bytes_total",
+                "iters",
+            ],
+        );
+        for (label, c) in &curves {
+            tr.row(&[
+                label.clone(),
+                c.wire_bits_per_iter.to_string(),
+                c.intra_wire_bits_per_iter.to_string(),
+                c.inter_wire_bits_per_iter.to_string(),
+                c.measured_wire_bytes.to_string(),
+                c.iters.to_string(),
+            ]);
+        }
+        let tpath = results_dir().join(format!("fig3_w{workers}_{suffix}_traffic.csv"));
+        tr.save_csv(&tpath).expect("write traffic csv");
+        println!("CSV: {} + {}\n", path.display(), tpath.display());
     }
 }

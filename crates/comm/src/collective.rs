@@ -23,6 +23,7 @@
 //! measured wall time on [`CommHandle::clock`].
 
 use crate::cost::CostModel;
+use crate::transport::group::{self, GroupTransport, SharedTransport};
 use crate::transport::wire::{Payload, PayloadRef};
 use crate::transport::{Transport, TransportError};
 use std::time::Instant;
@@ -152,6 +153,24 @@ pub struct CommHandle {
     /// accounting that proves frames actually overlap in flight.
     inflight: usize,
     max_inflight: usize,
+    /// Split-communicator state (see [`CommHandle::split`]): the shared
+    /// root endpoint plus this handle's sub-rank → root-rank member map.
+    /// `None` until the first split on this rank's lineage.
+    shared: Option<SharedState>,
+    /// This handle's tag space (bits 48..63 of every collective tag);
+    /// 0 for a never-split root communicator.
+    space: u64,
+    /// How many child communicators this handle has split off — the
+    /// deterministic sub-space allocator (SPMD: every rank splits in the
+    /// same order, so every rank computes the same child space).
+    split_seq: u64,
+}
+
+struct SharedState {
+    transport: SharedTransport,
+    /// This handle's sub-rank → root-absolute rank map (identity for the
+    /// root communicator).
+    members: Vec<usize>,
 }
 
 impl CommHandle {
@@ -166,14 +185,29 @@ impl CommHandle {
             op_seq: 0,
             inflight: 0,
             max_inflight: 0,
+            shared: None,
+            space: 0,
+            split_seq: 0,
         }
     }
 
-    /// Builds a measured-time TCP handle from the `A2SGD_RANK` /
-    /// `A2SGD_WORLD` / `A2SGD_MASTER_ADDR` rendezvous environment.
+    /// Builds a measured-time TCP handle from the rendezvous environment:
+    /// the legacy `A2SGD_RANK` / `A2SGD_WORLD` / `A2SGD_MASTER_ADDR`
+    /// triple, lowered through the typed
+    /// [`Rendezvous`](crate::transport::rendezvous::Rendezvous) so the
+    /// optional per-rank bind-host and group lists are honored too.
     pub fn tcp_from_env() -> Result<Self, String> {
-        let cfg = crate::transport::TcpConfig::from_env()?;
-        let t = crate::transport::Tcp::connect(&cfg)?;
+        let rdv = crate::transport::rendezvous::Rendezvous::from_env()?;
+        Ok(CommHandle::new(Box::new(rdv.connect()?), None))
+    }
+
+    /// Builds a measured-time TCP handle for `rank` of a typed
+    /// [`WorldSpec`](crate::transport::rendezvous::WorldSpec).
+    pub fn tcp_from_spec(
+        rank: usize,
+        spec: &crate::transport::rendezvous::WorldSpec,
+    ) -> Result<Self, String> {
+        let t = crate::transport::Tcp::connect_spec(rank, spec)?;
         Ok(CommHandle::new(Box::new(t), None))
     }
 
@@ -230,6 +264,81 @@ impl CommHandle {
     /// actually overlapped exchanges instead of serializing them.
     pub fn max_inflight(&self) -> usize {
         self.max_inflight
+    }
+
+    /// Force-sets the local clock — the hierarchical choreography's
+    /// hand-off between a world communicator and its sub-communicators
+    /// (each sub-communicator accumulates time independently; the caller
+    /// threads one logical timeline through them).
+    pub fn align_clock(&mut self, seconds: f64) {
+        self.clock_s = seconds;
+    }
+
+    /// Splits this communicator into disjoint sub-communicators — MPI's
+    /// `MPI_Comm_split`, collective over **all** ranks of this
+    /// communicator. Ranks passing the same `Some(group_id)` form one
+    /// sub-communicator whose sub-ranks are assigned by ascending
+    /// `(key, parent_rank)`; ranks passing `None` participate in the split
+    /// but join no group and get `None` back.
+    ///
+    /// The child shares the parent's underlying endpoint (collectives on
+    /// parent and child interleave safely: every child tag carries a
+    /// distinct tag space in bits 48..63) and inherits its cost model and
+    /// clock; traffic stats start at zero. The parent stays fully usable.
+    /// Splits nest — a child can split again — to a depth/width budget of
+    /// 31 children per communicator and 15 bits of total space, far above
+    /// any real topology.
+    pub fn split(&mut self, group: Option<u64>, key: u64) -> Option<CommHandle> {
+        // Membership exchange over *this* communicator (sub-ranks if we
+        // are ourselves a child): one small allgather, honestly billed.
+        let triple = [u64::from(group.is_some()), group.unwrap_or(0), key];
+        let all = self.allgather(&triple);
+        // Every split consumes one child space on every rank — members or
+        // not — so later splits agree on numbering across ranks.
+        self.split_seq += 1;
+        assert!(self.split_seq < group::SPACE_FANOUT, "more than 31 splits of one communicator");
+        let space = self.space * group::SPACE_FANOUT + self.split_seq;
+        assert!(space < group::MAX_SPACE, "communicator split nesting exhausted the tag space");
+        let shared = self.ensure_shared();
+        let gid = group?;
+        let mut members: Vec<(u64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t[0] == 1 && t[1] == gid)
+            .map(|(r, t)| (t[2], r))
+            .collect();
+        members.sort_unstable();
+        let sub_rank =
+            members.iter().position(|&(_, r)| r == self.rank()).expect("own rank not in group");
+        // Translate this communicator's ranks to root-absolute ranks for
+        // the shared endpoint.
+        let map = &self.shared.as_ref().expect("shared root").members;
+        let abs: Vec<usize> = members.iter().map(|&(_, r)| map[r]).collect();
+        let modeled = self.cost.is_some();
+        let transport =
+            GroupTransport::group(shared.clone(), abs.clone(), sub_rank, space, modeled);
+        let mut child = CommHandle::new(Box::new(transport), self.cost);
+        child.clock_s = self.clock_s;
+        child.shared = Some(SharedState { transport: shared, members: abs });
+        child.space = space;
+        Some(child)
+    }
+
+    /// Makes this handle's endpoint shareable (first split only): the real
+    /// transport moves into an `Arc<Mutex<…>>` and the handle keeps an
+    /// identity [`GroupTransport`] view over it — bit-for-bit the same
+    /// behavior, since the identity view passes tags through unchanged and
+    /// delegates barrier/clock rendezvous to the root.
+    fn ensure_shared(&mut self) -> SharedTransport {
+        if self.shared.is_none() {
+            let world = self.transport.world();
+            let inner = std::mem::replace(&mut self.transport, Box::new(group::Detached));
+            let shared: SharedTransport = std::sync::Arc::new(parking_lot::Mutex::new(inner));
+            self.transport =
+                Box::new(GroupTransport::identity(shared.clone(), self.cost.is_some()));
+            self.shared = Some(SharedState { transport: shared, members: (0..world).collect() });
+        }
+        self.shared.as_ref().expect("just ensured").transport.clone()
     }
 
     // -- internals ---------------------------------------------------------

@@ -15,9 +15,29 @@
 //!   [`run_cluster_tcp_threads`]) — every rank is an OS process (or
 //!   thread) holding persistent per-peer `TcpStream`s with length-prefixed
 //!   little-endian framing ([`transport::wire`]); rendezvous is
-//!   torchrun-style through `A2SGD_RANK` / `A2SGD_WORLD` /
-//!   `A2SGD_MASTER_ADDR`, and both traffic and time are *measured*, not
-//!   simulated.
+//!   torchrun-style from a typed [`WorldSpec`] (per-rank bind addresses,
+//!   group assignments, master handoff) that the legacy `A2SGD_RANK` /
+//!   `A2SGD_WORLD` / `A2SGD_MASTER_ADDR` environment lowers into
+//!   ([`Rendezvous::from_env`]), and both traffic and time are *measured*,
+//!   not simulated.
+//!
+//! ## Groups and topology
+//!
+//! Any communicator can be carved into sub-communicators with
+//! [`CommHandle::split`] — an MPI `comm_split`-style collective returning
+//! a [`CommHandle`] whose ranks are remapped to `0..group_len` and whose
+//! collectives (blocking and nonblocking alike) run only over the group's
+//! members, on either backend, bit-identical to a standalone world of the
+//! same size. Splitting shares the parent's transport endpoint
+//! ([`transport::GroupTransport`]) and isolates each sub-communicator in
+//! its own tag space, so parent and children interleave traffic safely.
+//!
+//! [`hier::HierarchicalComm`] builds the paper's two-level topology on
+//! top: a dense intra-group communicator plus an inter-group communicator
+//! of group leaders — either by splitting one flat world, or genuinely
+//! mixed-backend via [`hier::run_cluster_hier_threads`] (in-process
+//! mailboxes inside each group, real loopback-TCP sockets between
+//! leaders).
 //!
 //! Every frame on either backend is a typed byte payload
 //! ([`transport::wire::Payload`]): dense f32 lanes, packed u64 words, or an
@@ -48,6 +68,7 @@
 
 pub mod collective;
 pub mod cost;
+pub mod hier;
 pub mod nonblocking;
 pub mod profile;
 pub mod sim;
@@ -55,10 +76,12 @@ pub mod transport;
 
 pub use collective::{CollectiveAlgo, CommHandle, Reducible, TrafficStats, WireElem};
 pub use cost::CostModel;
+pub use hier::{run_cluster_hier_threads, HierarchicalComm};
 pub use nonblocking::{CollectiveHandle, CollectiveResult};
 pub use profile::NetworkProfile;
 pub use sim::{run_cluster, Cluster};
 pub use transport::{
-    run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank, CommBackend,
-    Payload, PayloadKind, TcpConfig, Transport, TransportError,
+    run_cluster_tcp, run_cluster_tcp_spec, run_cluster_tcp_threads, run_multiprocess,
+    run_multiprocess_spec, tcp_child_rank, CommBackend, GroupTransport, LaunchConfig, Payload,
+    PayloadKind, RankSpec, Rendezvous, TcpConfig, Transport, TransportError, WorldSpec,
 };

@@ -1,0 +1,361 @@
+//! Sub-communicator data plane: a rank-remapping view over a shared root
+//! transport.
+//!
+//! [`crate::CommHandle::split`] carves a communicator into groups. Each
+//! group member gets a [`GroupTransport`]: the same underlying endpoint
+//! (wrapped in `Arc<Mutex<…>>` so parent and children on one rank share
+//! it), plus
+//!
+//! * a **member map** translating group sub-ranks to root-absolute ranks,
+//! * a **tag space** injected into bits 48..63 of every collective tag, so
+//!   concurrent parent/child collectives on the same socket/mailbox can
+//!   never match each other's frames,
+//! * its own **dissemination barrier** and **gather-max clock exchange**
+//!   over group members only — the root's native barrier/clock rendezvous
+//!   are world-wide and would deadlock a proper subgroup.
+//!
+//! The mutex is never contended: a rank's parent handle and all its
+//! sub-handles live on the same thread (the SPMD contract makes their use
+//! strictly sequential), and cross-rank delivery goes through the
+//! *destination's* mailbox or socket reader, never through this endpoint
+//! object. Blocking a receive while holding the lock is therefore safe.
+
+use crate::transport::wire::{Payload, PayloadRef};
+use crate::transport::{Transport, TransportError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A root endpoint shared between one rank's parent handle and all the
+/// sub-communicator handles split from it.
+pub type SharedTransport = Arc<Mutex<Box<dyn Transport>>>;
+
+/// Bit position where a sub-communicator's tag space is injected.
+pub(crate) const SPACE_SHIFT: u32 = 48;
+/// Tag spaces must leave bit 63 (transport-internal traffic) clear.
+pub(crate) const MAX_SPACE: u64 = 1 << 15;
+/// Children of one parent draw spaces `parent·32 + 1 ..= parent·32 + 31`.
+pub(crate) const SPACE_FANOUT: u64 = 32;
+
+/// Group-internal dissemination-barrier tags: bit 63 (internal) + bit 62
+/// (barrier discriminator, distinct from the TCP backend's own barrier).
+const GROUP_BARRIER: u64 = (1 << 63) | (1 << 62);
+/// Group-internal clock-exchange tags: bit 63 + bit 61.
+const GROUP_CLOCK: u64 = (1 << 63) | (1 << 61);
+
+/// One rank's endpoint of a split sub-communicator (see module docs).
+pub struct GroupTransport {
+    inner: SharedTransport,
+    /// Sub-rank → root-absolute rank, sorted by the split's `(key, rank)`.
+    members: Vec<usize>,
+    sub_rank: usize,
+    space: u64,
+    /// Pure passthrough (space 0, full world): the parent's own view after
+    /// its first split. Barrier and clock exchange delegate to the root's
+    /// native world-wide rendezvous so pre-split behavior is unchanged.
+    identity: bool,
+    /// Whether the root has a shared simulated clock (the handle's cost
+    /// model is `Some`); a measured root never calls `clock_exchange`.
+    modeled: bool,
+    backend: &'static str,
+    barrier_seq: u64,
+    clock_seq: u64,
+}
+
+impl GroupTransport {
+    /// The parent's identity view over its own freshly-shared endpoint.
+    pub(crate) fn identity(inner: SharedTransport, modeled: bool) -> Self {
+        let (world, rank, backend) = {
+            let t = inner.lock();
+            (t.world(), t.rank(), t.backend_name())
+        };
+        GroupTransport {
+            inner,
+            members: (0..world).collect(),
+            sub_rank: rank,
+            space: 0,
+            identity: true,
+            modeled,
+            backend,
+            barrier_seq: 0,
+            clock_seq: 0,
+        }
+    }
+
+    /// A proper sub-communicator endpoint: `members[sub_rank]` must be the
+    /// root rank owning `inner`.
+    pub(crate) fn group(
+        inner: SharedTransport,
+        members: Vec<usize>,
+        sub_rank: usize,
+        space: u64,
+        modeled: bool,
+    ) -> Self {
+        assert!(space > 0 && space < MAX_SPACE, "tag space {space} out of range");
+        assert!(sub_rank < members.len());
+        debug_assert_eq!(members[sub_rank], inner.lock().rank());
+        let backend = inner.lock().backend_name();
+        GroupTransport {
+            inner,
+            members,
+            sub_rank,
+            space,
+            identity: false,
+            modeled,
+            backend,
+            barrier_seq: 0,
+            clock_seq: 0,
+        }
+    }
+
+    /// The sub-rank → root-rank member map.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    fn spaced(&self, tag: u64) -> u64 {
+        debug_assert!(
+            tag >> SPACE_SHIFT == 0,
+            "collective tag {tag:#x} overflows into the group tag space"
+        );
+        tag | (self.space << SPACE_SHIFT)
+    }
+}
+
+impl Transport for GroupTransport {
+    fn rank(&self) -> usize {
+        self.sub_rank
+    }
+
+    fn world(&self) -> usize {
+        self.members.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.backend
+    }
+
+    fn send_bytes(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: PayloadRef<'_>,
+    ) -> Result<u64, TransportError> {
+        let tag = self.spaced(tag);
+        self.inner.lock().send_bytes(self.members[to], tag, payload)
+    }
+
+    fn recv_bytes(&mut self, from: usize, tag: u64) -> Result<Payload, TransportError> {
+        let tag = self.spaced(tag);
+        self.inner.lock().recv_bytes(self.members[from], tag)
+    }
+
+    fn try_recv_bytes(&mut self, from: usize, tag: u64) -> Result<Option<Payload>, TransportError> {
+        let tag = self.spaced(tag);
+        self.inner.lock().try_recv_bytes(self.members[from], tag)
+    }
+
+    fn barrier(&mut self) -> (u64, u64) {
+        if self.identity {
+            return self.inner.lock().barrier();
+        }
+        let world = self.members.len();
+        if world == 1 {
+            return (0, 0);
+        }
+        // Dissemination barrier over group members, in the group-internal
+        // tag namespace (root barriers are world-wide: unusable here).
+        self.barrier_seq += 1;
+        let base = GROUP_BARRIER | (self.space << 40) | (self.barrier_seq << 8);
+        let mut hop = 1usize;
+        let mut round = 0u64;
+        let (mut frames, mut wire_bytes) = (0u64, 0u64);
+        while hop < world {
+            let to = self.members[(self.sub_rank + hop) % world];
+            let from = self.members[(self.sub_rank + world - hop) % world];
+            let mut t = self.inner.lock();
+            wire_bytes += t
+                .send_bytes(to, base | round, PayloadRef::Bytes(&[]))
+                .unwrap_or_else(|e| panic!("group barrier send: {e}"));
+            frames += 1;
+            let _ = t
+                .recv_bytes(from, base | round)
+                .unwrap_or_else(|e| panic!("group barrier recv: {e}"));
+            hop <<= 1;
+            round += 1;
+        }
+        (frames, wire_bytes)
+    }
+
+    fn clock_exchange(&mut self, clock_s: f64, payload_bytes: f64) -> Option<(f64, f64)> {
+        if self.identity {
+            return self.inner.lock().clock_exchange(clock_s, payload_bytes);
+        }
+        if !self.modeled {
+            return None;
+        }
+        let world = self.members.len();
+        if world == 1 {
+            return Some((clock_s, payload_bytes));
+        }
+        // Gather-max at sub-rank 0, then fan the maxima back out — the
+        // group-local equivalent of the in-proc slot rendezvous.
+        self.clock_seq += 1;
+        let base = GROUP_CLOCK | (self.space << 40) | (self.clock_seq << 8);
+        let word = |c: f64, b: f64| Payload::PackedU64(vec![c.to_bits(), b.to_bits()]);
+        let unword = |p: Payload| {
+            let w = p.expect_u64();
+            (f64::from_bits(w[0]), f64::from_bits(w[1]))
+        };
+        if self.sub_rank == 0 {
+            let (mut maxc, mut maxb) = (clock_s, payload_bytes);
+            for sub in 1..world {
+                let got = self
+                    .inner
+                    .lock()
+                    .recv_bytes(self.members[sub], base)
+                    .unwrap_or_else(|e| panic!("group clock gather: {e}"));
+                let (c, b) = unword(got);
+                maxc = maxc.max(c);
+                maxb = maxb.max(b);
+            }
+            let reply = word(maxc, maxb);
+            for sub in 1..world {
+                self.inner
+                    .lock()
+                    .send_bytes(self.members[sub], base | 1, reply.as_ref())
+                    .unwrap_or_else(|e| panic!("group clock scatter: {e}"));
+            }
+            Some((maxc, maxb))
+        } else {
+            self.inner
+                .lock()
+                .send_bytes(self.members[0], base, word(clock_s, payload_bytes).as_ref())
+                .unwrap_or_else(|e| panic!("group clock deposit: {e}"));
+            let got = self
+                .inner
+                .lock()
+                .recv_bytes(self.members[0], base | 1)
+                .unwrap_or_else(|e| panic!("group clock result: {e}"));
+            Some(unword(got))
+        }
+    }
+}
+
+/// Placeholder installed while a handle's real endpoint is being moved into
+/// the shared root; any use is a bug in the split plumbing.
+pub(crate) struct Detached;
+
+impl Transport for Detached {
+    fn rank(&self) -> usize {
+        unreachable!("detached transport")
+    }
+
+    fn world(&self) -> usize {
+        unreachable!("detached transport")
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "detached"
+    }
+
+    fn send_bytes(
+        &mut self,
+        _to: usize,
+        _tag: u64,
+        _payload: PayloadRef<'_>,
+    ) -> Result<u64, TransportError> {
+        unreachable!("detached transport")
+    }
+
+    fn recv_bytes(&mut self, _from: usize, _tag: u64) -> Result<Payload, TransportError> {
+        unreachable!("detached transport")
+    }
+
+    fn try_recv_bytes(
+        &mut self,
+        _from: usize,
+        _tag: u64,
+    ) -> Result<Option<Payload>, TransportError> {
+        unreachable!("detached transport")
+    }
+
+    fn barrier(&mut self) -> (u64, u64) {
+        unreachable!("detached transport")
+    }
+
+    fn clock_exchange(&mut self, _clock_s: f64, _payload_bytes: f64) -> Option<(f64, f64)> {
+        unreachable!("detached transport")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::inproc::InProcShared;
+
+    fn shared_endpoint(world: usize, rank: usize, all: &Arc<InProcShared>) -> SharedTransport {
+        let _ = world;
+        Arc::new(Mutex::new(Box::new(all.endpoint(rank)) as Box<dyn Transport>))
+    }
+
+    #[test]
+    fn group_remaps_ranks_and_spaces_tags() {
+        // Root world 4; group {1, 3} as sub-ranks {0, 1} in space 5.
+        let all = InProcShared::new(4);
+        let e1 = shared_endpoint(4, 1, &all);
+        let e3 = shared_endpoint(4, 3, &all);
+        let mut g1 = GroupTransport::group(e1, vec![1, 3], 0, 5, true);
+        let mut g3 = GroupTransport::group(e3.clone(), vec![1, 3], 1, 5, true);
+        assert_eq!((g1.rank(), g1.world()), (0, 2));
+        assert_eq!((g3.rank(), g3.world()), (1, 2));
+        g1.send_bytes(1, 7, Payload::F32Dense(vec![2.5]).as_ref()).unwrap();
+        // The frame sits in absolute rank 3's mailbox under the *spaced*
+        // tag: invisible to an unspaced probe, visible to the group view.
+        assert!(e3.lock().try_recv_bytes(1, 7).unwrap().is_none());
+        let got = g3.recv_bytes(0, 7).unwrap();
+        assert_eq!(got.expect_f32(), vec![2.5]);
+    }
+
+    #[test]
+    fn sibling_groups_share_a_space_without_crosstalk() {
+        // Split {0,1} and {2,3} both in space 1: member pairs are disjoint,
+        // so identical (tag, sub-rank) pairs cannot collide at the root.
+        let all = InProcShared::new(4);
+        let mk = |rank: usize, members: Vec<usize>, sub: usize| {
+            GroupTransport::group(shared_endpoint(4, rank, &all), members, sub, 1, true)
+        };
+        let mut a0 = mk(0, vec![0, 1], 0);
+        let mut a1 = mk(1, vec![0, 1], 1);
+        let mut b0 = mk(2, vec![2, 3], 0);
+        let mut b1 = mk(3, vec![2, 3], 1);
+        a0.send_bytes(1, 9, Payload::PackedU64(vec![10]).as_ref()).unwrap();
+        b0.send_bytes(1, 9, Payload::PackedU64(vec![20]).as_ref()).unwrap();
+        assert_eq!(a1.recv_bytes(0, 9).unwrap().expect_u64(), vec![10]);
+        assert_eq!(b1.recv_bytes(0, 9).unwrap().expect_u64(), vec![20]);
+    }
+
+    #[test]
+    fn group_barrier_and_clock_rendezvous_members_only() {
+        let all = InProcShared::new(3);
+        // Group {0, 2}: rank 1 never participates — the group barrier and
+        // clock exchange must complete without it.
+        std::thread::scope(|s| {
+            let all0 = all.clone();
+            let all2 = all.clone();
+            let j0 = s.spawn(move || {
+                let mut g =
+                    GroupTransport::group(shared_endpoint(3, 0, &all0), vec![0, 2], 0, 1, true);
+                g.barrier();
+                g.clock_exchange(1.0, 4.0).unwrap()
+            });
+            let j2 = s.spawn(move || {
+                let mut g =
+                    GroupTransport::group(shared_endpoint(3, 2, &all2), vec![0, 2], 1, 1, true);
+                g.barrier();
+                g.clock_exchange(3.0, 2.0).unwrap()
+            });
+            assert_eq!(j0.join().unwrap(), (3.0, 4.0));
+            assert_eq!(j2.join().unwrap(), (3.0, 4.0));
+        });
+    }
+}

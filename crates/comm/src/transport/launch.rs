@@ -15,6 +15,7 @@
 //! (spawned with `<test_name> --exact`).
 
 use crate::collective::CommHandle;
+use crate::transport::rendezvous::WorldSpec;
 use crate::transport::tcp::{self, MasterEndpoint, Tcp};
 use crate::transport::wire;
 use std::io::Write;
@@ -42,12 +43,39 @@ pub fn tcp_child_rank() -> Option<usize> {
     std::env::var(tcp::ENV_RANK).ok().and_then(|v| v.parse().ok())
 }
 
+/// Resolved launcher knobs — the one place the child-deadline environment
+/// is interpreted, replacing the ad-hoc lookups that used to be duplicated
+/// across launchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// How long the parent waits for every child to exit before killing
+    /// the brood and failing the run.
+    pub child_deadline: Duration,
+}
+
+impl LaunchConfig {
+    /// The precedence rule, pinned by a unit test: `A2SGD_CHILD_DEADLINE_SECS`
+    /// wins when it parses as whole seconds; otherwise (unset *or*
+    /// unparsable) the older `A2SGD_LAUNCH_TIMEOUT_SECS` spelling is
+    /// consulted the same way; otherwise the 120 s default applies.
+    pub fn resolve(child_deadline: Option<&str>, launch_timeout: Option<&str>) -> Self {
+        let deadline = [child_deadline, launch_timeout]
+            .into_iter()
+            .find_map(|v| v?.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(DEFAULT_LAUNCH_TIMEOUT);
+        LaunchConfig { child_deadline: deadline }
+    }
+
+    /// Reads [`Self::resolve`]'s inputs from the process environment.
+    pub fn from_env() -> Self {
+        let var = |k: &str| std::env::var(k).ok();
+        Self::resolve(var(ENV_CHILD_DEADLINE).as_deref(), var(ENV_LAUNCH_TIMEOUT).as_deref())
+    }
+}
+
 fn launch_timeout() -> Duration {
-    [ENV_CHILD_DEADLINE, ENV_LAUNCH_TIMEOUT]
-        .iter()
-        .find_map(|k| std::env::var(k).ok()?.parse::<u64>().ok())
-        .map(Duration::from_secs)
-        .unwrap_or(DEFAULT_LAUNCH_TIMEOUT)
+    LaunchConfig::from_env().child_deadline
 }
 
 /// Picks a currently-free loopback port. There is a small window between
@@ -64,21 +92,23 @@ fn result_path(dir: &std::path::Path, rank: usize) -> PathBuf {
     dir.join(format!("rank_{rank}.frame"))
 }
 
-/// Generic multi-process fan-out: in a child (env says so) runs
-/// `child(rank)`, writes the result file, and exits the process; in the
-/// parent spawns `world` copies of the current executable with the
-/// rendezvous environment plus `child_args` (pass `&[test_name, "--exact"]`
-/// from inside a `#[test]`), waits for them under a deadline, and returns
-/// the per-rank results in rank order.
+/// Generic multi-process fan-out over a typed [`WorldSpec`]: in a child
+/// (env says so) runs `child(rank)`, writes the result file, and exits the
+/// process; in the parent spawns one copy of the current executable per
+/// rank with the spec lowered into the rendezvous environment plus
+/// `child_args` (pass `&[test_name, "--exact"]` from inside a `#[test]`),
+/// waits for them under the [`LaunchConfig`] deadline, and returns the
+/// per-rank results in rank order.
 ///
-/// The deadline (default 120 s; override with `A2SGD_CHILD_DEADLINE_SECS`,
-/// or the older `A2SGD_LAUNCH_TIMEOUT_SECS` spelling) turns a hung
-/// rendezvous or deadlocked collective into a loud failure instead of a
-/// stalled CI job: all children are killed and the parent panics.
-pub fn run_multiprocess<C>(world: usize, child_args: &[&str], child: C) -> Vec<Vec<f32>>
+/// The deadline (default 120 s; see [`LaunchConfig::resolve`] for the env
+/// precedence) turns a hung rendezvous or deadlocked collective into a
+/// loud failure instead of a stalled CI job: all children are killed and
+/// the parent panics.
+pub fn run_multiprocess_spec<C>(spec: &WorldSpec, child_args: &[&str], child: C) -> Vec<Vec<f32>>
 where
     C: FnOnce(usize) -> Vec<f32>,
 {
+    let world = spec.world();
     assert!(world >= 1);
     if let Some(rank) = tcp_child_rank() {
         let out = child(rank);
@@ -93,7 +123,6 @@ where
 
     static LAUNCH_SEQ: AtomicU64 = AtomicU64::new(0);
     let exe = std::env::current_exe().expect("current_exe");
-    let master_addr = free_loopback_addr();
     let out_dir = std::env::temp_dir().join(format!(
         "a2sgd-launch-{}-{}",
         std::process::id(),
@@ -103,11 +132,12 @@ where
 
     let mut children = Vec::with_capacity(world);
     for rank in 0..world {
-        let c = Command::new(&exe)
-            .args(child_args)
-            .env(tcp::ENV_RANK, rank.to_string())
-            .env(tcp::ENV_WORLD, world.to_string())
-            .env(tcp::ENV_MASTER_ADDR, &master_addr)
+        let mut cmd = Command::new(&exe);
+        cmd.args(child_args);
+        for (k, v) in spec.env_for(rank) {
+            cmd.env(k, v);
+        }
+        let c = cmd
             .env(ENV_OUT_DIR, &out_dir)
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
@@ -155,6 +185,32 @@ where
     results
 }
 
+/// Single-host compat shim over [`run_multiprocess_spec`]: a flat world of
+/// `world` ranks on a fresh loopback port. Prefer passing a [`WorldSpec`]
+/// directly — it also carries per-rank bind hosts and group layout.
+pub fn run_multiprocess<C>(world: usize, child_args: &[&str], child: C) -> Vec<Vec<f32>>
+where
+    C: FnOnce(usize) -> Vec<f32>,
+{
+    run_multiprocess_spec(&WorldSpec::single_host(free_loopback_addr(), world), child_args, child)
+}
+
+/// Multi-process TCP collective runner over a typed [`WorldSpec`]: spawns
+/// one process of the current binary per rank and runs `f` on each rank's
+/// measured TCP [`CommHandle`] (children rendezvous through the spec's
+/// lowered environment, bind hosts included). Returns the per-rank results
+/// in rank order (parent only; children exit inside — see
+/// [`run_multiprocess_spec`]).
+pub fn run_cluster_tcp_spec<F>(spec: &WorldSpec, child_args: &[&str], f: F) -> Vec<Vec<f32>>
+where
+    F: FnOnce(&mut CommHandle) -> Vec<f32>,
+{
+    run_multiprocess_spec(spec, child_args, |_| {
+        let mut h = CommHandle::tcp_from_env().expect("TCP rendezvous failed");
+        f(&mut h)
+    })
+}
+
 /// Multi-process TCP collective runner: spawns `world` local processes of
 /// the current binary over loopback and runs `f` on each rank's measured
 /// TCP [`CommHandle`]. Returns the per-rank results in rank order (parent
@@ -162,15 +218,13 @@ where
 ///
 /// From a `#[test]`, pass `child_args = &[test_name, "--exact"]` so the
 /// re-executed test binary runs only the calling test. From a plain `main`
-/// (examples/binaries), pass `&[]`.
+/// (examples/binaries), pass `&[]`. Single-host compat shim — prefer
+/// [`run_cluster_tcp_spec`] for typed worlds.
 pub fn run_cluster_tcp<F>(world: usize, child_args: &[&str], f: F) -> Vec<Vec<f32>>
 where
     F: FnOnce(&mut CommHandle) -> Vec<f32>,
 {
-    run_multiprocess(world, child_args, |_| {
-        let mut h = CommHandle::tcp_from_env().expect("TCP rendezvous failed");
-        f(&mut h)
-    })
+    run_cluster_tcp_spec(&WorldSpec::single_host(free_loopback_addr(), world), child_args, f)
 }
 
 /// In-process variant: `world` threads, each with its own [`Tcp`] endpoint
@@ -198,7 +252,7 @@ where
             };
             let f = &f;
             joins.push(s.spawn(move || {
-                let t = Tcp::connect_parts(rank, world, endpoint)
+                let t = Tcp::connect_parts(rank, world, endpoint, None)
                     .unwrap_or_else(|e| panic!("rank {rank} rendezvous failed: {e}"));
                 let mut h = CommHandle::new(Box::new(t), None);
                 *slot = Some(f(&mut h));
@@ -214,6 +268,19 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn launch_config_precedence_is_pinned() {
+        // The one documented rule: CHILD_DEADLINE wins when parsable;
+        // unset *or* unparsable falls through to the older LAUNCH_TIMEOUT
+        // spelling; then the 120 s default. Pure inputs — no env races.
+        let secs = |c: Option<&str>, l: Option<&str>| LaunchConfig::resolve(c, l).child_deadline;
+        assert_eq!(secs(Some("240"), Some("30")), Duration::from_secs(240));
+        assert_eq!(secs(None, Some("30")), Duration::from_secs(30));
+        assert_eq!(secs(Some("nonsense"), Some("30")), Duration::from_secs(30));
+        assert_eq!(secs(Some("nonsense"), None), Duration::from_secs(120));
+        assert_eq!(secs(None, None), Duration::from_secs(120));
+    }
 
     #[test]
     fn thread_cluster_runs_collectives() {

@@ -17,20 +17,33 @@
 //! encodings cross the real socket at their encoded size instead of being
 //! expanded back to f32 buffers.
 //!
-//! Rendezvous for the TCP backend is torchrun-style: rank 0 listens on
-//! `A2SGD_MASTER_ADDR`, every rank registers its data-plane address, and
-//! the full peer table is broadcast back before the mesh of per-peer
-//! connections is established (see [`TcpConfig`]).
+//! Rendezvous for the TCP backend is torchrun-style: rank 0 listens on the
+//! master address, every rank registers its data-plane address, and the
+//! full peer table is broadcast back before the mesh of per-peer
+//! connections is established. The typed bootstrap is a
+//! [`rendezvous::WorldSpec`] — per-rank bind hosts (so groups can span
+//! machines) plus group assignments — which the legacy
+//! `A2SGD_RANK`/`A2SGD_WORLD`/`A2SGD_MASTER_ADDR` environment lowers into
+//! (see [`rendezvous::Rendezvous::from_env`]).
+//!
+//! [`group::GroupTransport`] is the third, derived data plane: the
+//! rank-remapping tag-spaced view over either backend that
+//! `CommHandle::split` builds sub-communicators from.
 
+pub mod group;
 pub mod inproc;
 pub mod launch;
+pub mod rendezvous;
 pub mod tcp;
 pub mod wire;
 
+pub use group::GroupTransport;
 pub use inproc::{InProc, InProcShared};
 pub use launch::{
-    run_cluster_tcp, run_cluster_tcp_threads, run_multiprocess, tcp_child_rank, ENV_CHILD_DEADLINE,
+    run_cluster_tcp, run_cluster_tcp_spec, run_cluster_tcp_threads, run_multiprocess,
+    run_multiprocess_spec, tcp_child_rank, LaunchConfig, ENV_CHILD_DEADLINE,
 };
+pub use rendezvous::{RankSpec, Rendezvous, WorldSpec};
 pub use tcp::{Tcp, TcpConfig};
 pub use wire::{Payload, PayloadKind, PayloadRef};
 

@@ -1,0 +1,193 @@
+//! Typed rendezvous: who is in the world, where each rank binds, and how
+//! ranks are grouped — the bootstrap surface that replaces raw env-var
+//! plumbing.
+//!
+//! A [`WorldSpec`] names the master address, one [`RankSpec`] per rank
+//! (data-plane bind host + topology group), and is what the launchers and
+//! [`crate::CommHandle::tcp_from_spec`] consume. The legacy
+//! `A2SGD_RANK` / `A2SGD_WORLD` / `A2SGD_MASTER_ADDR` environment — plus
+//! the optional `A2SGD_BIND_HOSTS` / `A2SGD_GROUPS` comma lists — lowers
+//! into a `WorldSpec` via [`Rendezvous::from_env`], so every existing
+//! env-var launched child keeps working while new callers pass the spec
+//! directly.
+//!
+//! Per-rank bind hosts are what make the rendezvous multi-host capable:
+//! the old behavior (every rank binds its data listener on the master's
+//! host) is the `bind_host: None` default, while a rank on another machine
+//! sets the address its peers can actually route to.
+
+use crate::transport::tcp;
+
+/// One rank's bootstrap entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankSpec {
+    /// Host (no port) this rank binds its data-plane listener on and
+    /// advertises to peers. `None` falls back to the master's host — the
+    /// single-host default.
+    pub bind_host: Option<String>,
+    /// Topology group this rank belongs to (hierarchical communicators
+    /// split on it); 0 for flat worlds.
+    pub group: usize,
+}
+
+/// The typed description of a world: master handoff plus per-rank
+/// addresses and group assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldSpec {
+    /// Rank-0 rendezvous address, `host:port`.
+    pub master_addr: String,
+    /// Per-rank entries; `ranks.len()` is the world size.
+    pub ranks: Vec<RankSpec>,
+}
+
+impl WorldSpec {
+    /// A flat single-host world: every rank binds on the master's host.
+    pub fn single_host(master_addr: impl Into<String>, world: usize) -> Self {
+        assert!(world >= 1, "world must be ≥ 1");
+        WorldSpec {
+            master_addr: master_addr.into(),
+            ranks: (0..world).map(|_| RankSpec::default()).collect(),
+        }
+    }
+
+    /// A single-host world of `groups` groups × `group_size` ranks, ranks
+    /// grouped contiguously (rank `r` in group `r / group_size`).
+    pub fn grouped(master_addr: impl Into<String>, groups: usize, group_size: usize) -> Self {
+        assert!(groups >= 1 && group_size >= 1);
+        WorldSpec {
+            master_addr: master_addr.into(),
+            ranks: (0..groups * group_size)
+                .map(|r| RankSpec { bind_host: None, group: r / group_size })
+                .collect(),
+        }
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The group `rank` belongs to.
+    pub fn group_of(&self, rank: usize) -> usize {
+        self.ranks[rank].group
+    }
+
+    /// Number of distinct groups (`max + 1`; groups are dense by
+    /// convention).
+    pub fn groups(&self) -> usize {
+        self.ranks.iter().map(|r| r.group).max().map_or(0, |g| g + 1)
+    }
+
+    /// The environment a child process of `rank` needs so that
+    /// [`Rendezvous::from_env`] reconstructs this spec — the lowering that
+    /// keeps env-launched children and spec-driven parents interoperable.
+    pub fn env_for(&self, rank: usize) -> Vec<(&'static str, String)> {
+        let mut env = vec![
+            (tcp::ENV_RANK, rank.to_string()),
+            (tcp::ENV_WORLD, self.world().to_string()),
+            (tcp::ENV_MASTER_ADDR, self.master_addr.clone()),
+        ];
+        if self.ranks.iter().any(|r| r.bind_host.is_some()) {
+            let hosts: Vec<&str> =
+                self.ranks.iter().map(|r| r.bind_host.as_deref().unwrap_or("")).collect();
+            env.push((tcp::ENV_BIND_HOSTS, hosts.join(",")));
+        }
+        if self.ranks.iter().any(|r| r.group != 0) {
+            let groups: Vec<String> = self.ranks.iter().map(|r| r.group.to_string()).collect();
+            env.push((tcp::ENV_GROUPS, groups.join(",")));
+        }
+        env
+    }
+}
+
+/// A rank's resolved bootstrap: its identity plus the world it joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rendezvous {
+    /// This process's rank in `0..spec.world()`.
+    pub rank: usize,
+    /// The world description.
+    pub spec: WorldSpec,
+}
+
+impl Rendezvous {
+    /// Lowers the legacy rendezvous environment into the typed spec:
+    /// `A2SGD_RANK`/`A2SGD_WORLD`/`A2SGD_MASTER_ADDR` (required), plus
+    /// `A2SGD_BIND_HOSTS` (comma list, empty entry = master's host) and
+    /// `A2SGD_GROUPS` (comma list of group ids) when present. Errors name
+    /// the missing or malformed variable.
+    pub fn from_env() -> Result<Self, String> {
+        let cfg = tcp::TcpConfig::from_env()?;
+        let mut spec = WorldSpec::single_host(cfg.master_addr, cfg.world);
+        if let Ok(hosts) = std::env::var(tcp::ENV_BIND_HOSTS) {
+            let hosts: Vec<&str> = hosts.split(',').collect();
+            if hosts.len() != cfg.world {
+                return Err(format!(
+                    "{} has {} entries for world {}",
+                    tcp::ENV_BIND_HOSTS,
+                    hosts.len(),
+                    cfg.world
+                ));
+            }
+            for (r, h) in hosts.iter().enumerate() {
+                spec.ranks[r].bind_host = (!h.is_empty()).then(|| h.to_string());
+            }
+        }
+        if let Ok(groups) = std::env::var(tcp::ENV_GROUPS) {
+            let groups: Vec<&str> = groups.split(',').collect();
+            if groups.len() != cfg.world {
+                return Err(format!(
+                    "{} has {} entries for world {}",
+                    tcp::ENV_GROUPS,
+                    groups.len(),
+                    cfg.world
+                ));
+            }
+            for (r, g) in groups.iter().enumerate() {
+                spec.ranks[r].group =
+                    g.parse().map_err(|e| format!("{} entry {r}: {e}", tcp::ENV_GROUPS))?;
+            }
+        }
+        Ok(Rendezvous { rank: cfg.rank, spec })
+    }
+
+    /// Establishes this rank's TCP mesh per the spec.
+    pub fn connect(&self) -> Result<tcp::Tcp, String> {
+        tcp::Tcp::connect_spec(self.rank, &self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_spec_lays_out_contiguous_groups() {
+        let spec = WorldSpec::grouped("127.0.0.1:29500", 2, 3);
+        assert_eq!(spec.world(), 6);
+        assert_eq!(spec.groups(), 2);
+        assert_eq!((0..6).map(|r| spec.group_of(r)).collect::<Vec<_>>(), [0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn env_lowering_round_trips_hosts_and_groups() {
+        let mut spec = WorldSpec::grouped("10.0.0.1:29500", 2, 2);
+        spec.ranks[2].bind_host = Some("10.0.0.2".into());
+        spec.ranks[3].bind_host = Some("10.0.0.2".into());
+        let env = spec.env_for(2);
+        let get = |k: &str| env.iter().find(|(ek, _)| *ek == k).map(|(_, v)| v.clone());
+        assert_eq!(get("A2SGD_RANK").unwrap(), "2");
+        assert_eq!(get("A2SGD_WORLD").unwrap(), "4");
+        assert_eq!(get("A2SGD_MASTER_ADDR").unwrap(), "10.0.0.1:29500");
+        assert_eq!(get("A2SGD_BIND_HOSTS").unwrap(), ",,10.0.0.2,10.0.0.2");
+        assert_eq!(get("A2SGD_GROUPS").unwrap(), "0,0,1,1");
+    }
+
+    #[test]
+    fn flat_single_host_spec_lowers_to_bare_legacy_env() {
+        // No bind hosts, no groups: children see exactly the three legacy
+        // variables — the back-compat contract.
+        let env = WorldSpec::single_host("127.0.0.1:1", 2).env_for(1);
+        let keys: Vec<&str> = env.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["A2SGD_RANK", "A2SGD_WORLD", "A2SGD_MASTER_ADDR"]);
+    }
+}

@@ -1,11 +1,14 @@
 //! The real network transport: persistent per-peer `TcpStream`s.
 //!
-//! ## Rendezvous (torchrun-style)
+//! ## Rendezvous
 //!
-//! Rank 0 listens on `A2SGD_MASTER_ADDR`. Every rank binds an ephemeral
-//! data-plane listener on the master's host, registers `rank addr` with the
-//! master over a short-lived control connection, and receives the full
-//! `world`-entry address table back once everyone has checked in. The mesh
+//! A typed [`WorldSpec`](crate::transport::rendezvous::WorldSpec) names the
+//! master address and each rank's bind host (the torchrun-style `A2SGD_*`
+//! env vars are the compat lowering of that spec). Rank 0 listens on the
+//! master address. Every rank binds an ephemeral data-plane listener on
+//! its own bind host — so groups can span machines — registers `rank addr`
+//! with the master over a short-lived control connection, and receives the
+//! full `world`-entry address table back once everyone has checked in. The mesh
 //! is then built deterministically: rank `r` dials every rank below it
 //! (identifying itself with a 4-byte handshake) and accepts one connection
 //! from every rank above it, yielding exactly one persistent, bidirectional
@@ -50,6 +53,13 @@ pub const ENV_WORLD: &str = "A2SGD_WORLD";
 pub const ENV_MASTER_ADDR: &str = "A2SGD_MASTER_ADDR";
 /// Optional override (seconds) for the rendezvous deadline.
 pub const ENV_RENDEZVOUS_TIMEOUT: &str = "A2SGD_RENDEZVOUS_TIMEOUT_SECS";
+/// Optional comma list of per-rank data-plane bind hosts (empty entry =
+/// master's host) — the multi-host half of the typed
+/// [`rendezvous::WorldSpec`](crate::transport::rendezvous::WorldSpec)
+/// lowered into the environment.
+pub const ENV_BIND_HOSTS: &str = "A2SGD_BIND_HOSTS";
+/// Optional comma list of per-rank topology group ids.
+pub const ENV_GROUPS: &str = "A2SGD_GROUPS";
 
 const DEFAULT_RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -171,20 +181,40 @@ impl Tcp {
     /// address; everyone else dials it (with retries until the rendezvous
     /// deadline, so start order does not matter).
     pub fn connect(cfg: &TcpConfig) -> Result<Tcp, String> {
-        let master = if cfg.rank == 0 {
-            let l = TcpListener::bind(&cfg.master_addr)
-                .map_err(|e| format!("rank 0 could not bind {}: {e}", cfg.master_addr))?;
+        let spec = crate::transport::rendezvous::WorldSpec::single_host(
+            cfg.master_addr.clone(),
+            cfg.world,
+        );
+        Self::connect_spec(cfg.rank, &spec)
+    }
+
+    /// Establishes the mesh for `rank` of a typed [`WorldSpec`]: rank 0
+    /// binds the master address; every rank binds its data listener on its
+    /// spec'd host (master's host when unset) and advertises it through
+    /// the registration table, so ranks on different machines find each
+    /// other.
+    ///
+    /// [`WorldSpec`]: crate::transport::rendezvous::WorldSpec
+    pub fn connect_spec(
+        rank: usize,
+        spec: &crate::transport::rendezvous::WorldSpec,
+    ) -> Result<Tcp, String> {
+        assert!(rank < spec.world(), "rank {rank} out of range for world {}", spec.world());
+        let master = if rank == 0 {
+            let l = TcpListener::bind(&spec.master_addr)
+                .map_err(|e| format!("rank 0 could not bind {}: {e}", spec.master_addr))?;
             MasterEndpoint::Listener(l)
         } else {
-            MasterEndpoint::Addr(cfg.master_addr.clone())
+            MasterEndpoint::Addr(spec.master_addr.clone())
         };
-        Self::connect_parts(cfg.rank, cfg.world, master)
+        Self::connect_parts(rank, spec.world(), master, spec.ranks[rank].bind_host.as_deref())
     }
 
     pub(crate) fn connect_parts(
         rank: usize,
         world: usize,
         master: MasterEndpoint,
+        bind_host: Option<&str>,
     ) -> Result<Tcp, String> {
         assert!(world >= 1 && rank < world);
         if world == 1 {
@@ -193,18 +223,23 @@ impl Tcp {
         let deadline = rendezvous_deadline();
         let err = |e: std::io::Error, what: &str| format!("rank {rank}: {what}: {e}");
 
-        // Data-plane listener on the master's host (multi-host rendezvous —
-        // binding per-rank hosts — is a deferred ROADMAP item).
-        let host = match &master {
-            MasterEndpoint::Listener(l) => {
-                l.local_addr().map_err(|e| err(e, "master addr"))?.ip().to_string()
-            }
-            MasterEndpoint::Addr(a) => {
-                let h = a.rsplit_once(':').map(|(h, _)| h).unwrap_or(a.as_str());
-                // IPv6 literals arrive bracketed ("[::1]:29500"); bind wants
-                // the bare address.
-                h.trim_start_matches('[').trim_end_matches(']').to_string()
-            }
+        // Data-plane listener host: this rank's spec'd bind host when
+        // given (the multi-host path — peers route to the advertised
+        // address), otherwise derived from the master (the single-host
+        // default, where everything shares one interface).
+        let host = match bind_host {
+            Some(h) => h.to_string(),
+            None => match &master {
+                MasterEndpoint::Listener(l) => {
+                    l.local_addr().map_err(|e| err(e, "master addr"))?.ip().to_string()
+                }
+                MasterEndpoint::Addr(a) => {
+                    let h = a.rsplit_once(':').map(|(h, _)| h).unwrap_or(a.as_str());
+                    // IPv6 literals arrive bracketed ("[::1]:29500"); bind
+                    // wants the bare address.
+                    h.trim_start_matches('[').trim_end_matches(']').to_string()
+                }
+            },
         };
         let data_listener =
             TcpListener::bind((host.as_str(), 0)).map_err(|e| err(e, "bind data listener"))?;
@@ -440,7 +475,8 @@ mod tests {
         let addr = master.local_addr().unwrap().to_string();
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
-                let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
+                let mut t =
+                    Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master), None).unwrap();
                 let wire_bytes =
                     t.send_bytes(1, 42, Payload::F32Dense(vec![1.0, 2.0]).as_ref()).unwrap();
                 assert_eq!(wire_bytes, wire::frame_wire_bytes(8));
@@ -451,7 +487,7 @@ mod tests {
                 t.recv_bytes(1, 43).unwrap().expect_u64()
             });
             let j1 = s.spawn(move || {
-                let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
+                let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr), None).unwrap();
                 let got = t.recv_bytes(0, 42).unwrap().expect_f32();
                 assert_eq!(got, vec![1.0, 2.0]);
                 assert_eq!(t.recv_bytes(0, 44).unwrap().expect_bytes(), vec![7, 8, 9]);
@@ -470,12 +506,13 @@ mod tests {
         let addr = master.local_addr().unwrap().to_string();
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
-                let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
+                let mut t =
+                    Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master), None).unwrap();
                 t.send_bytes(1, 1, Payload::F32Dense(vec![1.0]).as_ref()).unwrap();
                 t.send_bytes(1, 2, Payload::F32Dense(vec![2.0]).as_ref()).unwrap();
             });
             let j1 = s.spawn(move || {
-                let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
+                let mut t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr), None).unwrap();
                 // Request the second frame first: the first must be parked
                 // in the pending queue, not lost.
                 assert_eq!(t.recv_bytes(0, 2).unwrap().expect_f32(), vec![2.0]);
@@ -496,7 +533,8 @@ mod tests {
         let addr = master.local_addr().unwrap().to_string();
         std::thread::scope(|s| {
             let j0 = s.spawn(move || {
-                let mut t = Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master)).unwrap();
+                let mut t =
+                    Tcp::connect_parts(0, 2, MasterEndpoint::Listener(master), None).unwrap();
                 // Rank 1 exits without sending: the blocking receive must
                 // observe the EOF and fail with the peer's identity.
                 let err = t.recv_bytes(1, 0x42).unwrap_err();
@@ -511,7 +549,7 @@ mod tests {
                 assert!(t.try_recv_bytes(1, 0x43).is_err());
             });
             let j1 = s.spawn(move || {
-                let t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr)).unwrap();
+                let t = Tcp::connect_parts(1, 2, MasterEndpoint::Addr(addr), None).unwrap();
                 drop(t); // shutdown both directions; rank 0 sees EOF
             });
             j1.join().unwrap();

@@ -71,10 +71,9 @@ impl GradientSynchronizer for DenseSgd {
         }
 
         SyncStats {
-            compress_seconds: 0.0,
             exchange_seconds,
-            overlap_seconds: 0.0,
             wire_bits: comm.stats().logical_wire_bits - bits_before,
+            ..SyncStats::default()
         }
     }
 

@@ -1,0 +1,193 @@
+//! Two-level gradient synchronization: dense inside a group, any registry
+//! synchronizer across group leaders.
+//!
+//! [`HierarchicalSynchronizer`] wraps an inner [`GradientSynchronizer`]
+//! with the paper's cluster topology: each group first runs an exact dense
+//! allreduce over its cheap intra plane (so the leader holds the group
+//! mean), the leaders then run the inner algorithm — notably the O(1)
+//! A2SGD packet — across the expensive inter plane, and the result fans
+//! back out with an intra-group broadcast. The returned [`SyncStats`]
+//! splits `wire_bits` / `exchange_seconds` into their intra and inter
+//! shares, so the O(1) claim is checkable on the inter fields alone.
+//!
+//! With `group_size = 1` every rank is a leader, the intra plane is a
+//! one-rank no-op, and the result is bit-identical to running the inner
+//! synchronizer flat — the degenerate case the parity tests pin.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use cluster_comm::hier::HierarchicalComm;
+use cluster_comm::CommHandle;
+
+use crate::dense::DenseSgd;
+use crate::{wire_bits_of, GradientSynchronizer, SyncStats};
+
+/// Dense intra-group averaging composed with an inner synchronizer over
+/// group leaders (see module docs). Owns the topology's communicator
+/// pair; the world communicator passed to `sync_bucketed` is only used
+/// to keep the flat clock aligned.
+pub struct HierarchicalSynchronizer {
+    inner: Box<dyn GradientSynchronizer>,
+    dense: DenseSgd,
+    comm: HierarchicalComm,
+    name: &'static str,
+}
+
+impl HierarchicalSynchronizer {
+    /// Wraps `inner` to run across the leaders of `comm`'s groups. The
+    /// display name is `hier(dense, <inner>)`, matching the sweep
+    /// registries' labels.
+    pub fn new(inner: Box<dyn GradientSynchronizer>, comm: HierarchicalComm) -> Self {
+        let name = Box::leak(format!("hier(dense, {})", inner.name()).into_boxed_str());
+        HierarchicalSynchronizer { inner, dense: DenseSgd::new(), comm, name }
+    }
+
+    /// The topology this synchronizer runs over.
+    pub fn topology(&self) -> &HierarchicalComm {
+        &self.comm
+    }
+}
+
+impl GradientSynchronizer for HierarchicalSynchronizer {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn sync_bucketed(
+        &mut self,
+        grad: &mut [f32],
+        bounds: &[Range<usize>],
+        world: &mut CommHandle,
+    ) -> SyncStats {
+        // Level 1: exact dense mean inside the group (cheap plane). A
+        // singleton group already holds its own mean — skip the plane
+        // entirely so `group_size = 1` degenerates to the flat inner
+        // algorithm bit-for-bit and bit-count-for-bit-count.
+        self.comm.intra.align_clock(world.clock());
+        let intra_stats = if self.comm.intra.world() > 1 {
+            self.dense.sync_bucketed(grad, bounds, &mut self.comm.intra)
+        } else {
+            SyncStats::default()
+        };
+
+        // Level 2 (leaders only): the inner algorithm across groups — the
+        // only traffic that touches the expensive plane.
+        let inner_stats = if let Some(inter) = self.comm.inter.as_mut() {
+            inter.align_clock(self.comm.intra.clock());
+            let stats = self.inner.sync_bucketed(grad, bounds, inter);
+            self.comm.intra.align_clock(inter.clock());
+            stats
+        } else {
+            SyncStats::default()
+        };
+
+        // Fan the leader's result back out. The group clock exchange in
+        // the broadcast propagates the leaders' (later) clocks to members.
+        let (bcast_seconds, bcast_bits) = if self.comm.intra.world() > 1 {
+            let t0 = Instant::now();
+            let ((), bits) = wire_bits_of(&mut self.comm.intra, |c| c.broadcast(0, grad));
+            (t0.elapsed().as_secs_f64(), bits)
+        } else {
+            (0.0, 0)
+        };
+        world.align_clock(self.comm.intra.clock());
+
+        let intra_wire_bits = intra_stats.wire_bits + bcast_bits;
+        let intra_exchange_seconds = intra_stats.exchange_seconds + bcast_seconds;
+        SyncStats {
+            compress_seconds: inner_stats.compress_seconds,
+            exchange_seconds: intra_exchange_seconds + inner_stats.exchange_seconds,
+            overlap_seconds: inner_stats.overlap_seconds,
+            wire_bits: intra_wire_bits + inner_stats.wire_bits,
+            intra_wire_bits,
+            inter_wire_bits: inner_stats.wire_bits,
+            intra_exchange_seconds,
+            inter_exchange_seconds: inner_stats.exchange_seconds,
+        }
+    }
+
+    /// The *inter-plane* bits per leader — the scarce-resource budget the
+    /// paper's O(1) bound speaks about; the intra plane is dense by
+    /// construction and excluded on purpose.
+    fn wire_bits_formula(&self, n: usize) -> u64 {
+        self.inner.wire_bits_formula(n)
+    }
+
+    fn complexity(&self) -> &'static str {
+        self.inner.complexity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket_bounds;
+    use cluster_comm::{run_cluster, NetworkProfile};
+
+    fn rank_grad(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (rank as f32 + 1.0) * 0.25 + i as f32 * 0.01).collect()
+    }
+
+    #[test]
+    fn two_level_dense_equals_flat_dense() {
+        // Dense-over-dense is an exact mean of means with equal group
+        // sizes, so hier(dense, dense) must reproduce flat dense bits.
+        let n = 96;
+        let flat = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let mut g = rank_grad(h.rank(), n);
+            DenseSgd::new().sync_bucketed(&mut g, &bucket_bounds(&[n], 40), h);
+            g
+        });
+        let hier = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let topo = HierarchicalComm::from_flat(h, 2);
+            let mut sync = HierarchicalSynchronizer::new(Box::new(DenseSgd::new()), topo);
+            let mut g = rank_grad(h.rank(), n);
+            let stats = sync.sync_bucketed(&mut g, &bucket_bounds(&[n], 40), h);
+            assert_eq!(stats.wire_bits, stats.intra_wire_bits + stats.inter_wire_bits);
+            if sync.topology().is_leader() {
+                assert!(stats.inter_wire_bits > 0);
+            } else {
+                assert_eq!(stats.inter_wire_bits, 0);
+                assert_eq!(stats.inter_exchange_seconds, 0.0);
+            }
+            g
+        });
+        assert_eq!(flat, hier);
+    }
+
+    #[test]
+    fn group_size_one_is_bit_identical_to_flat_inner() {
+        let n = 64;
+        let flat = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let mut g = rank_grad(h.rank(), n);
+            DenseSgd::new().sync_bucketed(&mut g, &bucket_bounds(&[n], 64), h);
+            g
+        });
+        let hier = run_cluster(4, NetworkProfile::infiniband_100g(), |h| {
+            let topo = HierarchicalComm::from_flat(h, 1);
+            let mut sync = HierarchicalSynchronizer::new(Box::new(DenseSgd::new()), topo);
+            let mut g = rank_grad(h.rank(), n);
+            let stats = sync.sync_bucketed(&mut g, &bucket_bounds(&[n], 64), h);
+            // Degenerate groups: nothing moves on the intra plane.
+            assert_eq!(stats.intra_wire_bits, 0);
+            assert_eq!(stats.wire_bits, stats.inter_wire_bits);
+            g
+        });
+        assert_eq!(flat, hier);
+    }
+
+    #[test]
+    fn hier_name_and_formula_delegate_to_inner() {
+        let out = run_cluster(2, NetworkProfile::infiniband_100g(), |h| {
+            let topo = HierarchicalComm::from_flat(h, 2);
+            let sync = HierarchicalSynchronizer::new(Box::new(DenseSgd::new()), topo);
+            (sync.name().to_string(), sync.wire_bits_formula(10), sync.complexity().to_string())
+        });
+        for (name, bits, cx) in out {
+            assert_eq!(name, format!("hier(dense, {})", DenseSgd::new().name()));
+            assert_eq!(bits, DenseSgd::new().wire_bits_formula(10));
+            assert_eq!(cx, DenseSgd::new().complexity());
+        }
+    }
+}

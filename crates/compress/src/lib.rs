@@ -62,6 +62,7 @@ pub mod dense;
 pub mod ef;
 pub mod elias;
 pub mod gaussiank;
+pub mod hier;
 pub mod qsgd;
 pub mod randk;
 pub mod session;
@@ -73,6 +74,7 @@ pub mod topk;
 
 pub use dense::DenseSgd;
 pub use gaussiank::GaussianK;
+pub use hier::HierarchicalSynchronizer;
 pub use qsgd::{Qsgd, QsgdImpl};
 pub use randk::RandK;
 pub use session::{bucket_bounds, SyncSession};
@@ -106,6 +108,17 @@ pub struct SyncStats {
     /// (sub-byte encodings are padded to whole bytes, so this is a
     /// multiple of 8 for opaque byte frames).
     pub wire_bits: u64,
+    /// Of `wire_bits`, the bits that crossed the *intra-group* (dense,
+    /// cheap) plane of a hierarchical topology. Flat synchronizers report
+    /// 0 for both split fields.
+    pub intra_wire_bits: u64,
+    /// Of `wire_bits`, the bits that crossed the *inter-group* (leader,
+    /// expensive) plane — the traffic the paper's O(1) bound governs.
+    pub inter_wire_bits: u64,
+    /// Of `exchange_seconds`, the seconds spent in intra-group collectives.
+    pub intra_exchange_seconds: f64,
+    /// Of `exchange_seconds`, the seconds spent in inter-group collectives.
+    pub inter_exchange_seconds: f64,
 }
 
 /// Captures the logical-bit delta a collective exchange produced — the

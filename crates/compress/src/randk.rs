@@ -78,7 +78,7 @@ impl GradientSynchronizer for RandK {
 
         let (wire_bits, exchange_seconds) =
             sparse::exchange_selected(grad, bounds, comm, &idx, &val);
-        SyncStats { compress_seconds, exchange_seconds, overlap_seconds: 0.0, wire_bits }
+        SyncStats { compress_seconds, exchange_seconds, wire_bits, ..SyncStats::default() }
     }
 
     fn wire_bits_formula(&self, _n: usize) -> u64 {

@@ -201,6 +201,7 @@ impl<'s> SyncSession<'s> {
                 exchange_seconds,
                 overlap_seconds,
                 wire_bits: comm.stats().logical_wire_bits - bits_before,
+                ..SyncStats::default()
             }
         } else {
             // Re-assemble the staged copies into the caller's flat buffer

@@ -126,7 +126,7 @@ impl GradientSynchronizer for TernGrad {
                 }
             },
         );
-        SyncStats { compress_seconds, exchange_seconds, overlap_seconds: 0.0, wire_bits }
+        SyncStats { compress_seconds, exchange_seconds, wire_bits, ..SyncStats::default() }
     }
 
     fn wire_bits_formula(&self, n: usize) -> u64 {

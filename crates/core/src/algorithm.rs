@@ -112,8 +112,8 @@ impl GradientSynchronizer for A2sgd {
         SyncStats {
             compress_seconds: compress_head + residual_seconds + restore_seconds,
             exchange_seconds,
-            overlap_seconds: 0.0,
             wire_bits,
+            ..SyncStats::default()
         }
     }
 

@@ -1,7 +1,7 @@
 //! Experiment configurations: the paper's Table 1 plus CI-scale presets.
 
 use crate::registry::AlgoKind;
-use crate::trainer::{OptKind, TrainConfig};
+use crate::trainer::{OptKind, Topology, TrainConfig};
 use cluster_comm::{CommBackend, NetworkProfile};
 use mini_nn::models::{ModelKind, Preset};
 use mini_nn::schedule::LrSchedule;
@@ -142,6 +142,7 @@ pub fn scaled_convergence_config(
         backend: CommBackend::InProc,
         bucket_bytes: None,
         overlap_backward: false,
+        topology: Topology::Flat,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],
     }

@@ -72,6 +72,27 @@ impl Optimizer {
     }
 }
 
+/// Communicator topology the gradient synchronization runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// One flat communicator over all workers — every algorithm exchanges
+    /// across the whole world directly.
+    #[default]
+    Flat,
+    /// The paper's two-level cluster shape: workers are partitioned into
+    /// groups of `group_size` (rank `r` in group `r / group_size`), each
+    /// group runs an exact dense allreduce on its cheap intra plane, the
+    /// group leaders run [`TrainConfig::algo`] across groups, and the
+    /// result is broadcast back within each group
+    /// ([`gradcomp::HierarchicalSynchronizer`]). With A2SGD inside, the
+    /// inter-group traffic is the O(1) packet per leader.
+    Hier {
+        /// Ranks per group; must divide `workers`. `1` degenerates to the
+        /// flat algorithm bit-for-bit (every rank is a leader).
+        group_size: usize,
+    },
+}
+
 /// Full experiment description.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -131,11 +152,28 @@ pub struct TrainConfig {
     /// `false`: the paper's regenerated numbers keep the single-shot
     /// reference path.
     pub overlap_backward: bool,
+    /// Communicator topology: [`Topology::Flat`] (the default) runs
+    /// `algo` across the whole world; [`Topology::Hier`] wraps it in the
+    /// two-level dense-intra / algo-inter hierarchy. Does not yet compose
+    /// with `overlap_backward`.
+    pub topology: Topology,
     /// Modeled network (in-proc backend only; TCP measures instead).
     pub profile: NetworkProfile,
     /// Iterations at which worker 0 records a gradient histogram
     /// (Figure 1); empty to disable.
     pub grad_hist_iters: Vec<usize>,
+}
+
+impl TrainConfig {
+    /// The algorithm label as the figures print it: the bare registry name
+    /// under [`Topology::Flat`], `hier(dense, <name>)` under
+    /// [`Topology::Hier`].
+    pub fn algo_label(&self) -> String {
+        match self.topology {
+            Topology::Flat => self.algo.name().to_string(),
+            Topology::Hier { .. } => format!("hier(dense, {})", self.algo.name()),
+        }
+    }
 }
 
 /// Per-epoch observables.
@@ -168,6 +206,19 @@ pub struct TrainReport {
     pub iters: usize,
     /// Logical wire bits per iteration per worker.
     pub wire_bits_per_iter: u64,
+    /// Of `wire_bits_per_iter`, the bits on the hierarchical *intra-group*
+    /// plane (0 under [`Topology::Flat`]).
+    pub intra_wire_bits_per_iter: u64,
+    /// Of `wire_bits_per_iter`, the bits on the hierarchical *inter-group*
+    /// plane — with A2SGD inside, exactly the O(1) packet on leaders and 0
+    /// on members (0 under [`Topology::Flat`]).
+    pub inter_wire_bits_per_iter: u64,
+    /// Total physical bytes this rank's *flat world* communicator moved
+    /// over the whole run — payloads plus frame headers. On the TCP
+    /// backend this is measured socket traffic; in-proc it counts mailbox
+    /// bytes. (Hierarchical sub-communicators account separately, via the
+    /// intra/inter wire-bit splits.)
+    pub measured_wire_bytes: u64,
     /// Mean compression (encode/decode compute) time per iteration
     /// (worker 0).
     pub avg_compress_seconds: f64,
@@ -195,6 +246,9 @@ struct WorkerOut {
     sim_seconds: f64,
     iters: usize,
     wire_bits_total: u64,
+    intra_wire_bits_total: u64,
+    inter_wire_bits_total: u64,
+    wire_bytes_measured: u64,
     compress_seconds_total: f64,
     exchange_seconds_total: f64,
     overlap_seconds_total: f64,
@@ -226,14 +280,18 @@ fn build_datasets(cfg: &TrainConfig) -> (Option<Arc<SyntheticImages>>, Option<Ar
 
 fn build_report(cfg: &TrainConfig, w0: &WorkerOut, divergence: f64) -> TrainReport {
     let total_samples = w0.iters * cfg.batch_per_worker * cfg.workers;
+    let per_iter = |total: u64| if w0.iters > 0 { total / w0.iters as u64 } else { 0 };
     TrainReport {
-        label: format!("{}/{}/P{}", cfg.model.name(), cfg.algo.name(), cfg.workers),
+        label: format!("{}/{}/P{}", cfg.model.name(), cfg.algo_label(), cfg.workers),
         epochs: w0.epochs.clone(),
         final_metric: w0.epochs.last().map(|e| e.metric).unwrap_or(f64::NAN),
         total_sim_seconds: w0.sim_seconds,
         avg_iter_seconds: if w0.iters > 0 { w0.sim_seconds / w0.iters as f64 } else { 0.0 },
         iters: w0.iters,
-        wire_bits_per_iter: if w0.iters > 0 { w0.wire_bits_total / w0.iters as u64 } else { 0 },
+        wire_bits_per_iter: per_iter(w0.wire_bits_total),
+        intra_wire_bits_per_iter: per_iter(w0.intra_wire_bits_total),
+        inter_wire_bits_per_iter: per_iter(w0.inter_wire_bits_total),
+        measured_wire_bytes: w0.wire_bytes_measured,
         avg_compress_seconds: if w0.iters > 0 {
             w0.compress_seconds_total / w0.iters as f64
         } else {
@@ -303,6 +361,19 @@ fn run_worker(
     let mut model = build_model(cfg);
     let n = param_count(model.as_mut());
     let mut sync = cfg.algo.build(n, cfg.seed ^ 0x5EED, rank);
+    if let Topology::Hier { group_size } = cfg.topology {
+        assert!(
+            group_size >= 1 && cfg.workers % group_size == 0,
+            "group_size {group_size} must divide workers {}",
+            cfg.workers
+        );
+        assert!(
+            !cfg.overlap_backward,
+            "hierarchical topology does not yet compose with overlap_backward"
+        );
+        let topo = cluster_comm::HierarchicalComm::from_flat(comm, group_size);
+        sync = Box::new(gradcomp::HierarchicalSynchronizer::new(sync, topo));
+    }
     let mut opt = Optimizer::new(cfg.opt);
 
     // The deterministic size-capped bucketizer: boundaries are a pure
@@ -329,6 +400,8 @@ fn run_worker(
     let mut epochs = Vec::with_capacity(cfg.epochs);
     let mut iters_done = 0usize;
     let mut wire_bits_total = 0u64;
+    let mut intra_wire_bits_total = 0u64;
+    let mut inter_wire_bits_total = 0u64;
     let mut compress_total = 0.0f64;
     let mut exchange_total = 0.0f64;
     let mut overlap_total = 0.0f64;
@@ -419,6 +492,8 @@ fn run_worker(
                 sync.sync_bucketed(flat, &bounds, comm)
             };
             wire_bits_total += stats.wire_bits;
+            intra_wire_bits_total += stats.intra_wire_bits;
+            inter_wire_bits_total += stats.inter_wire_bits;
             compress_total += stats.compress_seconds;
             exchange_total += stats.exchange_seconds;
             overlap_total += stats.overlap_seconds;
@@ -473,6 +548,9 @@ fn run_worker(
         sim_seconds: comm.clock(),
         iters: iters_done,
         wire_bits_total,
+        intra_wire_bits_total,
+        inter_wire_bits_total,
+        wire_bytes_measured: comm.stats().wire_bytes,
         compress_seconds_total: compress_total,
         exchange_seconds_total: exchange_total,
         overlap_seconds_total: overlap_total,
@@ -564,6 +642,7 @@ mod tests {
             backend: CommBackend::InProc,
             bucket_bytes: None,
             overlap_backward: false,
+            topology: Topology::Flat,
             profile: NetworkProfile::infiniband_100g(),
             grad_hist_iters: vec![0, 5],
         }
@@ -667,6 +746,41 @@ mod tests {
         // In-proc collectives run on the modeled clock; measured wall time
         // inside them is still accumulated and must be finite/non-negative.
         assert!(r.avg_exchange_seconds >= 0.0 && r.avg_exchange_seconds.is_finite());
+    }
+
+    #[test]
+    fn hier_group_size_one_is_bit_identical_to_flat() {
+        // Singleton groups make every rank a leader and the intra plane a
+        // no-op: the hierarchical wrapper must reproduce the flat run
+        // bit-for-bit, including the wire accounting (all bits inter).
+        for algo in [AlgoKind::Dense, AlgoKind::A2sgd] {
+            let flat = train(&tiny_cfg(algo, 2));
+            let mut cfg = tiny_cfg(algo, 2);
+            cfg.topology = Topology::Hier { group_size: 1 };
+            let hier = train(&cfg);
+            assert_eq!(flat.final_metric, hier.final_metric, "{}", algo.name());
+            assert_eq!(flat.replica_divergence, hier.replica_divergence, "{}", algo.name());
+            let la: Vec<u64> = flat.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+            let lb: Vec<u64> = hier.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+            assert_eq!(la, lb, "{}", algo.name());
+            assert_eq!(flat.wire_bits_per_iter, hier.wire_bits_per_iter, "{}", algo.name());
+            assert_eq!(hier.intra_wire_bits_per_iter, 0);
+            assert_eq!(hier.inter_wire_bits_per_iter, hier.wire_bits_per_iter);
+        }
+    }
+
+    #[test]
+    fn hier_a2sgd_trains_with_o1_inter_traffic() {
+        let mut cfg = tiny_cfg(AlgoKind::A2sgd, 4);
+        cfg.topology = Topology::Hier { group_size: 2 };
+        let r = train(&cfg);
+        assert!(r.final_metric > 30.0, "accuracy {} too low", r.final_metric);
+        // Worker 0 leads group 0: its inter-plane traffic is exactly the
+        // O(1) A2SGD packet per iteration, independent of model size.
+        assert_eq!(r.inter_wire_bits_per_iter, 64);
+        assert!(r.intra_wire_bits_per_iter > 0, "dense intra plane must carry the gradient");
+        assert_eq!(r.wire_bits_per_iter, r.intra_wire_bits_per_iter + r.inter_wire_bits_per_iter);
+        assert!(r.label.contains("hier(dense, A2SGD)"), "label {}", r.label);
     }
 
     #[test]

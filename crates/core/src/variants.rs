@@ -81,8 +81,8 @@ impl GradientSynchronizer for A2sgdAllgather {
         SyncStats {
             compress_seconds: compress_head + residual_seconds,
             exchange_seconds,
-            overlap_seconds: 0.0,
             wire_bits,
+            ..SyncStats::default()
         }
     }
 
@@ -164,8 +164,8 @@ impl GradientSynchronizer for A2sgdCarry {
         SyncStats {
             compress_seconds: compress_head + ef_seconds,
             exchange_seconds,
-            overlap_seconds: 0.0,
             wire_bits,
+            ..SyncStats::default()
         }
     }
 
@@ -286,8 +286,8 @@ impl GradientSynchronizer for KLevelSgd {
         SyncStats {
             compress_seconds: compress_head + residual_seconds,
             exchange_seconds,
-            overlap_seconds: 0.0,
             wire_bits,
+            ..SyncStats::default()
         }
     }
 
