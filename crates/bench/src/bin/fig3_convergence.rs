@@ -14,6 +14,13 @@
 //! algorithm (with `--group-size N` for the hierarchical topology) — the
 //! same flags the launcher passes its children.
 //!
+//! `--trace-out <dir>` records a span trace of every rank into
+//! `<dir>/<model>_<algo>/` (per-process `trace-*.jsonl`; forked TCP ranks
+//! inherit the setting through `A2SGD_TRACE`). Merge and audit with the
+//! `trace_report` binary. `--overlap` turns on hook-driven
+//! backward-overlapped synchronization (flat combos only; compose with
+//! `--bucket-bytes N` for multi-bucket pipelines worth looking at).
+//!
 //! Run: `cargo run --release -p a2sgd-bench --bin fig3_convergence -- --workers 8 --model fnn3`
 
 use a2sgd::experiments::scaled_convergence_config;
@@ -82,9 +89,12 @@ fn encode_report(rep: &TrainReport) -> Vec<f32> {
     push_u64(&mut out, rep.intra_wire_bits_per_iter);
     push_u64(&mut out, rep.inter_wire_bits_per_iter);
     push_u64(&mut out, rep.measured_wire_bytes);
+    push_u64(&mut out, rep.messages);
+    push_u64(&mut out, rep.framing_bytes);
     push_u64(&mut out, rep.iters as u64);
     push_u64(&mut out, rep.avg_compress_seconds.to_bits());
     push_u64(&mut out, rep.avg_exchange_seconds.to_bits());
+    push_u64(&mut out, rep.avg_overlap_seconds.to_bits());
     out
 }
 
@@ -96,9 +106,12 @@ struct ComboOut {
     intra_wire_bits_per_iter: u64,
     inter_wire_bits_per_iter: u64,
     measured_wire_bytes: u64,
+    messages: u64,
+    framing_bytes: u64,
     iters: u64,
     avg_compress_seconds: f64,
     avg_exchange_seconds: f64,
+    avg_overlap_seconds: f64,
 }
 
 fn decode_report(lanes: &[f32]) -> ComboOut {
@@ -112,9 +125,12 @@ fn decode_report(lanes: &[f32]) -> ComboOut {
         intra_wire_bits_per_iter: take_u64(&mut it),
         inter_wire_bits_per_iter: take_u64(&mut it),
         measured_wire_bytes: take_u64(&mut it),
+        messages: take_u64(&mut it),
+        framing_bytes: take_u64(&mut it),
         iters: take_u64(&mut it),
         avg_compress_seconds: f64::from_bits(take_u64(&mut it)),
         avg_exchange_seconds: f64::from_bits(take_u64(&mut it)),
+        avg_overlap_seconds: f64::from_bits(take_u64(&mut it)),
     }
 }
 
@@ -126,20 +142,38 @@ fn from_report(rep: &TrainReport) -> ComboOut {
 /// and returns rank 0's report slice. The TCP path spawns `workers` child
 /// processes of this binary (each re-enters `main`, parses the same combo
 /// from its argv, and lands in the `run_multiprocess` child branch here).
+#[allow(clippy::too_many_arguments)]
 fn run_combo(
     model: ModelKind,
     algo: AlgoKind,
     topology: Topology,
     workers: usize,
     tcp: bool,
+    overlap: bool,
+    bucket_bytes: Option<usize>,
+    trace_dir: Option<&std::path::Path>,
 ) -> ComboOut {
     let mut cfg = scaled_convergence_config(model, algo, workers, 17);
     cfg.topology = topology;
+    cfg.overlap_backward = overlap;
+    cfg.bucket_bytes = bucket_bytes;
+    if let Some(dir) = trace_dir {
+        // Stale trace-*.jsonl files from a previous run would merge into
+        // this run's timeline and double every audit sum.
+        let _ = std::fs::remove_dir_all(dir);
+    }
     if !tcp {
+        cfg.trace = trace_dir.map(|p| p.to_path_buf());
         return from_report(&train(&cfg));
     }
     cfg.backend = CommBackend::Tcp;
+    // Forked rank processes pick the trace directory up from the
+    // environment (train's A2SGD_TRACE fallback) — argv stays combo-only.
+    if let Some(dir) = trace_dir {
+        std::env::set_var("A2SGD_TRACE", dir);
+    }
     let w = workers.to_string();
+    let bb;
     let mut child_args = vec![
         "--backend",
         "tcp",
@@ -155,7 +189,17 @@ fn run_combo(
         gs = group_size.to_string();
         child_args.extend_from_slice(&["--group-size", &gs]);
     }
+    if overlap {
+        child_args.push("--overlap");
+    }
+    if let Some(cap) = bucket_bytes {
+        bb = cap.to_string();
+        child_args.extend_from_slice(&["--bucket-bytes", &bb]);
+    }
     let outs = run_multiprocess(workers, &child_args, move |_rank| encode_report(&train(&cfg)));
+    if trace_dir.is_some() {
+        std::env::remove_var("A2SGD_TRACE");
+    }
     decode_report(&outs[0])
 }
 
@@ -181,6 +225,12 @@ fn main() {
     let args = Args::parse();
     let workers: usize = args.get_or("workers", 8);
     let tcp = args.get("backend") == Some("tcp");
+    let overlap = args.has("overlap");
+    let bucket_bytes = match args.get_or("bucket-bytes", 0usize) {
+        0 => None,
+        cap => Some(cap),
+    };
+    let trace_root = args.get("trace-out").map(std::path::PathBuf::from);
     let models = models_from(args.get("model").unwrap_or("fast"));
     // `--algo` narrows the sweep to one combination — how the TCP
     // launcher's children find their combo, and a handy manual filter.
@@ -203,25 +253,53 @@ fn main() {
     println!("== {fig}: Convergence with {workers} workers ({backend_name}) ==\n");
 
     for model in models {
-        let sweep: Vec<(AlgoKind, Topology)> = only.map_or_else(|| combos(workers), |c| vec![c]);
+        let mut sweep: Vec<(AlgoKind, Topology)> =
+            only.map_or_else(|| combos(workers), |c| vec![c]);
+        if overlap {
+            // Hook-driven overlap does not yet compose with the
+            // hierarchical topology (trainer asserts) — keep the flat rows.
+            sweep.retain(|(_, t)| matches!(t, Topology::Flat));
+        }
         let metric_name = if model.is_language_model() { "perplexity" } else { "top-1 %" };
         println!("--- {} ({metric_name}) ---", model.name());
 
         let mut curves: Vec<(String, ComboOut)> = Vec::new();
         for (algo, topology) in sweep {
             let label = combo_label(algo, topology);
-            let out = run_combo(model, algo, topology, workers, tcp);
+            // One trace directory per (model, combo): merged separately, so
+            // each timeline is one coherent run.
+            let combo_trace = trace_root.as_ref().map(|root| {
+                let slug: String = label
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                    .collect();
+                root.join(format!("{}_{slug}", model_cli_name(model)))
+            });
+            let out = run_combo(
+                model,
+                algo,
+                topology,
+                workers,
+                tcp,
+                overlap,
+                bucket_bytes,
+                combo_trace.as_deref(),
+            );
             eprintln!(
                 "  {label} final {metric_name} = {:.2} (wire {} bits/iter/worker \
-                 [intra {} | inter {}], measured {} B, t_compress {:.1}µs + \
-                 t_exchange {:.1}µs /iter)",
+                 [intra {} | inter {}], measured {} B in {} frames \
+                 [framing {} B], t_compress {:.1}µs + t_exchange {:.1}µs \
+                 [overlapped {:.1}µs] /iter)",
                 out.final_metric,
                 out.wire_bits_per_iter,
                 out.intra_wire_bits_per_iter,
                 out.inter_wire_bits_per_iter,
                 out.measured_wire_bytes,
+                out.messages,
+                out.framing_bytes,
                 out.avg_compress_seconds * 1e6,
-                out.avg_exchange_seconds * 1e6
+                out.avg_exchange_seconds * 1e6,
+                out.avg_overlap_seconds * 1e6
             );
             curves.push((label, out));
         }
@@ -254,6 +332,8 @@ fn main() {
                 "intra_wire_bits_per_iter",
                 "inter_wire_bits_per_iter",
                 "measured_wire_bytes_total",
+                "messages_total",
+                "framing_bytes_total",
                 "iters",
             ],
         );
@@ -264,6 +344,8 @@ fn main() {
                 c.intra_wire_bits_per_iter.to_string(),
                 c.inter_wire_bits_per_iter.to_string(),
                 c.measured_wire_bytes.to_string(),
+                c.messages.to_string(),
+                c.framing_bytes.to_string(),
                 c.iters.to_string(),
             ]);
         }

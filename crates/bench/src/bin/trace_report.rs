@@ -1,0 +1,292 @@
+//! Audits a recorded trace directory against the runtime's own counters.
+//!
+//! Run: `trace_report --dir <trace-dir> [--out merged.json]`
+//!
+//! Loads every `trace-*.jsonl` file written by a traced training run,
+//! aligns per-process clocks, validates the merged Chrome trace-event
+//! JSON, and then recomputes from span algebra the numbers the runtime
+//! reported about itself through `audit/*` instants:
+//!
+//! - **Per-plane wire bytes and message counts** — every `send/*` span is
+//!   billed to the communicator whose tag space its wire tag carries
+//!   ([`cluster_comm::tag_space`]); per plane (world/intra/inter, from the
+//!   `plane_map` instants) the sums must equal the corresponding
+//!   `TrafficStats` exactly.
+//! - **Overlap seconds** — the summed `bucket/inflight` async spans must
+//!   match `SyncStats::overlap_seconds` within max(2 ms, 5 %): both
+//!   measure the same launch→drain window with different clocks.
+//! - **Flow pairing** — every transport flow id emitted at a send must be
+//!   consumed by exactly as many receive-side flow events.
+//! - **Overlap claim** — when the run declared `audit/overlap_enabled`,
+//!   at least one in-flight exchange interval must intersect a
+//!   `phase/backward` span on the same rank: the timeline itself must
+//!   show communication under the backward pass.
+//!
+//! Prints one table per rank plus the merged metrics registry; exits 1 if
+//! any audit fails, so CI can gate on it.
+
+use a2sgd_bench::Args as Cli;
+use a2sgd_trace::{merge, Args, Ph, ThreadTrace, TraceData};
+use cluster_comm::tag_space;
+use std::collections::HashMap;
+
+/// Everything the auditor extracts from one rank's event stream.
+#[derive(Default)]
+struct RankView {
+    /// Audit instants: name → value.
+    audits: HashMap<&'static str, f64>,
+    /// Tag space → plane label, from `plane_map` instants.
+    planes: HashMap<u64, &'static str>,
+    /// Tag space → (wire bytes, messages) summed over `send/*` spans.
+    sends: HashMap<u64, (u64, u64)>,
+    /// `bucket/inflight` intervals, ns.
+    inflight: Vec<(u64, u64)>,
+    /// `phase/backward` intervals, ns.
+    backward: Vec<(u64, u64)>,
+}
+
+fn scan_thread(t: &ThreadTrace, view: &mut RankView) {
+    // B/E spans pair as a stack per thread; async begin/ends pair FIFO
+    // per (name, id).
+    let mut stack: Vec<(&'static str, u64)> = Vec::new();
+    let mut open_async: HashMap<(&'static str, u64), Vec<u64>> = HashMap::new();
+    for ev in &t.events {
+        match ev.ph {
+            Ph::SpanBegin => {
+                stack.push((ev.name, ev.t_ns));
+                if ev.name.starts_with("send/") {
+                    if let Args::Wire { tag, bytes, .. } = ev.args {
+                        if let Some(space) = tag_space(tag) {
+                            let e = view.sends.entry(space).or_insert((0, 0));
+                            e.0 += bytes;
+                            e.1 += 1;
+                        }
+                    }
+                }
+            }
+            Ph::SpanEnd => {
+                if let Some((name, t0)) = stack.pop() {
+                    if name == "phase/backward" {
+                        view.backward.push((t0, ev.t_ns));
+                    }
+                }
+            }
+            Ph::Instant => match ev.args {
+                Args::Value(v) if ev.name.starts_with("audit/") => {
+                    view.audits.insert(ev.name, v);
+                }
+                Args::Plane { space, plane } => {
+                    view.planes.insert(space, plane);
+                }
+                _ => {}
+            },
+            Ph::AsyncBegin => {
+                open_async.entry((ev.name, ev.id)).or_default().push(ev.t_ns);
+            }
+            Ph::AsyncEnd => {
+                if ev.name == "bucket/inflight" {
+                    if let Some(t0) = open_async
+                        .get_mut(&(ev.name, ev.id))
+                        .and_then(|q| (!q.is_empty()).then(|| q.remove(0)))
+                    {
+                        view.inflight.push((t0, ev.t_ns));
+                    }
+                }
+            }
+            Ph::FlowOut | Ph::FlowIn | Ph::Counter => {}
+        }
+    }
+}
+
+fn rank_views(data: &TraceData) -> Vec<(usize, RankView)> {
+    let mut by_rank: HashMap<usize, RankView> = HashMap::new();
+    for t in &data.threads {
+        if let Some(r) = t.rank {
+            scan_thread(t, by_rank.entry(r).or_default());
+        }
+    }
+    let mut out: Vec<_> = by_rank.into_iter().collect();
+    out.sort_by_key(|(r, _)| *r);
+    out
+}
+
+/// Unmatched flow ids: (send-side only, recv-side only).
+fn flow_imbalance(data: &TraceData) -> (usize, usize) {
+    let mut balance: HashMap<u64, i64> = HashMap::new();
+    for t in &data.threads {
+        for ev in &t.events {
+            match ev.ph {
+                Ph::FlowOut => *balance.entry(ev.id).or_default() += 1,
+                Ph::FlowIn => *balance.entry(ev.id).or_default() -= 1,
+                _ => {}
+            }
+        }
+    }
+    let extra_sends = balance.values().filter(|v| **v > 0).map(|v| *v as usize).sum();
+    let extra_recvs = balance.values().filter(|v| **v < 0).map(|v| -*v as usize).sum();
+    (extra_sends, extra_recvs)
+}
+
+fn intersects(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    a.iter().any(|&(a0, a1)| b.iter().any(|&(b0, b1)| a0 < b1 && b0 < a1))
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let Some(dir) = cli.get("dir") else {
+        eprintln!("usage: trace_report --dir <trace-dir> [--out merged.json]");
+        std::process::exit(2);
+    };
+    let dir = std::path::PathBuf::from(dir);
+
+    let data = match a2sgd_trace::load_dir(&dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            std::process::exit(2);
+        }
+    };
+    let chrome = merge::chrome_trace_json(&data);
+    let mut failures: Vec<String> = Vec::new();
+
+    if let Err(e) = a2sgd_trace::json::validate(&chrome) {
+        failures.push(format!("merged Chrome trace is not valid JSON: {e}"));
+    }
+    if let Some(out) = cli.get("out") {
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, &chrome).unwrap_or_else(|e| {
+            eprintln!("trace_report: write {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("merged Chrome trace: {out} ({} bytes)", chrome.len());
+    }
+    if data.dropped > 0 {
+        println!(
+            "warning: {} events dropped to ring-buffer overflow — audits below may misreport",
+            data.dropped
+        );
+    }
+
+    let events: usize = data.threads.iter().map(|t| t.events.len()).sum();
+    println!(
+        "loaded {} thread streams, {events} events, {} metrics\n",
+        data.threads.len(),
+        data.metrics.len()
+    );
+
+    for (rank, view) in rank_views(&data) {
+        println!("rank {rank}:");
+        // Wire-byte / message audit, per plane the runtime declared.
+        for plane in ["world", "intra", "inter"] {
+            let (wire_key, msg_key) = match plane {
+                "world" => ("audit/wire_bytes/world", "audit/messages/world"),
+                "intra" => ("audit/wire_bytes/intra", "audit/messages/intra"),
+                _ => ("audit/wire_bytes/inter", "audit/messages/inter"),
+            };
+            let Some(&want_bytes) = view.audits.get(wire_key) else {
+                continue;
+            };
+            let want_msgs = view.audits.get(msg_key).copied().unwrap_or(0.0) as u64;
+            let (got_bytes, got_msgs) = view
+                .planes
+                .iter()
+                .filter(|(_, p)| **p == plane)
+                .filter_map(|(space, _)| view.sends.get(space))
+                .fold((0u64, 0u64), |acc, (b, m)| (acc.0 + b, acc.1 + m));
+            let ok = got_bytes == want_bytes as u64 && got_msgs == want_msgs;
+            println!(
+                "  {plane:5} wire bytes: spans {got_bytes:>10}  stats {:>10}  \
+                 messages: spans {got_msgs:>6}  stats {want_msgs:>6}  {}",
+                want_bytes as u64,
+                if ok { "ok" } else { "MISMATCH" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "rank {rank} {plane}: span-derived wire traffic ({got_bytes} B / \
+                     {got_msgs} msgs) != TrafficStats ({} B / {want_msgs} msgs)",
+                    want_bytes as u64
+                ));
+            }
+        }
+
+        // Overlap audit: span algebra vs SyncStats::overlap_seconds.
+        if let Some(&want) = view.audits.get("audit/overlap_seconds") {
+            let got = view
+                .inflight
+                .iter()
+                .map(|&(t0, t1)| t1.saturating_sub(t0) as f64 / 1e9)
+                .sum::<f64>()
+                .max(0.0); // empty f64 sums are -0.0
+
+            let tol = (0.05 * want.abs()).max(2e-3);
+            let ok = (got - want).abs() <= tol;
+            println!(
+                "  overlap: spans {:.6}s  stats {:.6}s  (tol {:.4}s)  {}",
+                got,
+                want,
+                tol,
+                if ok { "ok" } else { "MISMATCH" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "rank {rank}: span-derived overlap {got:.6}s disagrees with \
+                     SyncStats::overlap_seconds {want:.6}s (tol {tol:.4}s)"
+                ));
+            }
+        }
+
+        // The overlap *claim*: traced exchanges under the backward pass.
+        if view.audits.get("audit/overlap_enabled").copied().unwrap_or(0.0) == 1.0 {
+            let ok = intersects(&view.inflight, &view.backward);
+            println!(
+                "  backward∩exchange concurrency: {} in-flight / {} backward spans  {}",
+                view.inflight.len(),
+                view.backward.len(),
+                if ok { "ok" } else { "MISSING" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "rank {rank}: overlap was enabled but no bucket/inflight interval \
+                     intersects a phase/backward span"
+                ));
+            }
+        }
+    }
+
+    let (extra_sends, extra_recvs) = flow_imbalance(&data);
+    if extra_sends + extra_recvs > 0 {
+        let msg = format!(
+            "flow pairing: {extra_sends} send-side and {extra_recvs} recv-side flow events \
+             have no partner"
+        );
+        println!("{msg}");
+        failures.push(msg);
+    } else {
+        println!("flow pairing: all transport flow ids balance  ok");
+    }
+
+    if !data.metrics.is_empty() {
+        println!("\nmetrics registry:");
+        for m in &data.metrics {
+            match m.kind {
+                a2sgd_trace::metrics::Kind::Histogram => println!(
+                    "  {} = {:.6} (n {}, min {:.6}, max {:.6})",
+                    m.name, m.value, m.count, m.min, m.max
+                ),
+                _ => println!("  {} = {}", m.name, m.value),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\ntrace audit PASSED");
+    } else {
+        println!("\ntrace audit FAILED:");
+        for f in &failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

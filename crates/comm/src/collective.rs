@@ -164,6 +164,9 @@ pub struct CommHandle {
     /// deterministic sub-space allocator (SPMD: every rank splits in the
     /// same order, so every rank computes the same child space).
     split_seq: u64,
+    /// Trace label for the plane this communicator's traffic belongs to
+    /// (`"world"` by default; the hierarchy sets `"intra"`/`"inter"`).
+    plane: &'static str,
 }
 
 struct SharedState {
@@ -188,6 +191,7 @@ impl CommHandle {
             shared: None,
             space: 0,
             split_seq: 0,
+            plane: "world",
         }
     }
 
@@ -321,7 +325,31 @@ impl CommHandle {
         child.clock_s = self.clock_s;
         child.shared = Some(SharedState { transport: shared, members: abs });
         child.space = space;
+        child.plane = self.plane;
         Some(child)
+    }
+
+    /// The trace plane label this communicator's traffic is attributed to
+    /// (`"world"` unless [`Self::set_plane`] renamed it).
+    pub fn plane(&self) -> &'static str {
+        self.plane
+    }
+
+    /// This communicator's tag space — the identifier frames from this
+    /// communicator carry on the wire (0 for the root world; split children
+    /// get distinct sub-spaces). Trace audits group per-plane wire bytes by
+    /// it via [`crate::tag_space`].
+    pub fn space(&self) -> u64 {
+        self.space
+    }
+
+    /// Labels this communicator's plane for tracing (the hierarchy uses
+    /// `"intra"`/`"inter"`) and announces the tag-space → plane mapping as
+    /// a trace instant, so span-level audits can group per-plane wire
+    /// bytes by the tag space each frame carries.
+    pub fn set_plane(&mut self, plane: &'static str) {
+        self.plane = plane;
+        a2sgd_trace::instant("plane_map", a2sgd_trace::Args::Plane { space: self.space, plane });
     }
 
     /// Makes this handle's endpoint shareable (first split only): the real
@@ -470,11 +498,19 @@ impl CommHandle {
     /// frames carry no payload but do hit the wire, so they count toward
     /// `messages`/`wire_bytes` (never `bytes_sent`/`logical_wire_bits`).
     pub fn barrier(&mut self) {
+        let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         let (frames, wire_bytes) = self.transport.barrier();
         self.stats.messages += frames;
         self.stats.wire_bytes += wire_bytes;
         self.finish_op(t0, 0.0, |m, _, p| m.barrier(p));
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "comm/barrier",
+                ts,
+                a2sgd_trace::Args::Collective { op: "barrier", plane: self.plane, bytes: 0 },
+            );
+        }
     }
 
     /// In-place allreduce over any [`Reducible`] element with algorithm
@@ -483,6 +519,7 @@ impl CommHandle {
     pub fn allreduce_with<T: Reducible>(&mut self, data: &mut [T], algo: CollectiveAlgo) {
         let payload_bytes = (T::BYTES * data.len()) as f64;
         self.stats.logical_wire_bits += 8 * (T::BYTES * data.len()) as u64;
+        let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         if self.world() > 1 {
             match algo {
@@ -505,6 +542,17 @@ impl CommHandle {
             CollectiveAlgo::RecursiveDoubling => m.recursive_doubling_allreduce(b, p),
             CollectiveAlgo::Auto => m.allreduce(b, p),
         });
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "comm/allreduce",
+                ts,
+                a2sgd_trace::Args::Collective {
+                    op: "allreduce",
+                    plane: self.plane,
+                    bytes: payload_bytes as u64,
+                },
+            );
+        }
     }
 
     /// In-place f32 allreduce-sum with algorithm selection.
@@ -543,6 +591,7 @@ impl CommHandle {
         let rank = self.rank();
         let payload_bytes = payload.byte_len() as f64;
         self.stats.logical_wire_bits += payload.bits();
+        let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         let mut out: Vec<Option<Payload>> = (0..world).map(|_| None).collect();
         out[rank] = Some(payload);
@@ -565,6 +614,17 @@ impl CommHandle {
             }
         }
         self.finish_op(t0, payload_bytes, |m, b, p| m.ring_allgather(b, p));
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "comm/allgather",
+                ts,
+                a2sgd_trace::Args::Collective {
+                    op: "allgather",
+                    plane: self.plane,
+                    bytes: payload_bytes as u64,
+                },
+            );
+        }
         out.into_iter().map(|p| p.expect("allgather ring left a hole")).collect()
     }
 
@@ -575,12 +635,24 @@ impl CommHandle {
         assert_ne!(peer, self.rank(), "exchange_bytes with self");
         let payload_bytes = payload.byte_len() as f64;
         self.stats.logical_wire_bits += payload.bits();
+        let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         let tag = self.next_tag();
         self.send_payload(peer, tag, payload.as_ref());
         let got = self.recv_payload(peer, tag);
         // Modeled cost of one pairwise round: RD-allreduce at world 2.
         self.finish_op(t0, payload_bytes, |m, b, _| m.recursive_doubling_allreduce(b, 2));
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "comm/exchange",
+                ts,
+                a2sgd_trace::Args::Collective {
+                    op: "exchange",
+                    plane: self.plane,
+                    bytes: payload_bytes as u64,
+                },
+            );
+        }
         got
     }
 
@@ -592,6 +664,7 @@ impl CommHandle {
         let bytes = (T::BYTES * data.len()) as f64;
         self.stats.logical_wire_bits +=
             if rank == root { 8 * (T::BYTES * data.len()) as u64 } else { 0 };
+        let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         if world > 1 {
             let tag = self.next_tag();
@@ -632,6 +705,17 @@ impl CommHandle {
             }
         }
         self.finish_op(t0, bytes, |m, b, p| m.broadcast(b, p));
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "comm/broadcast",
+                ts,
+                a2sgd_trace::Args::Collective {
+                    op: "broadcast",
+                    plane: self.plane,
+                    bytes: bytes as u64,
+                },
+            );
+        }
     }
 
     // -- allreduce algorithm implementations --------------------------------

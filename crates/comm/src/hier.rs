@@ -55,9 +55,13 @@ impl HierarchicalComm {
 
     fn with_group(comm: &mut CommHandle, group: usize) -> Self {
         let rank = comm.rank() as u64;
-        let intra = comm.split(Some(group as u64), rank).expect("member of own group");
+        let mut intra = comm.split(Some(group as u64), rank).expect("member of own group");
+        intra.set_plane("intra");
         let leader = intra.rank() == 0;
-        let inter = comm.split(leader.then_some(0), group as u64);
+        let mut inter = comm.split(leader.then_some(0), group as u64);
+        if let Some(c) = inter.as_mut() {
+            c.set_plane("inter");
+        }
         // Count distinct groups collectively over the flat world — every
         // rank (leader or not) must participate in the allgather.
         let mine = [group as u64];
@@ -74,12 +78,16 @@ impl HierarchicalComm {
     /// A mixed-backend hierarchy assembled directly from backend
     /// endpoints (no splitting) — used by [`run_cluster_hier_threads`].
     pub fn from_parts(
-        intra: CommHandle,
-        inter: Option<CommHandle>,
+        mut intra: CommHandle,
+        mut inter: Option<CommHandle>,
         group: usize,
         groups: usize,
     ) -> Self {
         assert_eq!(inter.is_some(), intra.rank() == 0, "exactly the leaders carry an inter comm");
+        intra.set_plane("intra");
+        if let Some(c) = inter.as_mut() {
+            c.set_plane("inter");
+        }
         HierarchicalComm { intra, inter, group, groups }
     }
 

@@ -80,6 +80,7 @@ pub use hier::{run_cluster_hier_threads, HierarchicalComm};
 pub use nonblocking::{CollectiveHandle, CollectiveResult};
 pub use profile::NetworkProfile;
 pub use sim::{run_cluster, Cluster};
+pub use transport::group::tag_space;
 pub use transport::{
     run_cluster_tcp, run_cluster_tcp_spec, run_cluster_tcp_threads, run_multiprocess,
     run_multiprocess_spec, tcp_child_rank, CommBackend, GroupTransport, LaunchConfig, Payload,

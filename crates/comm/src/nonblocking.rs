@@ -167,6 +167,11 @@ pub struct CollectiveHandle {
     failed: Option<TransportError>,
     /// Whether this handle still counts toward `CommHandle::inflight`.
     counted: bool,
+    /// Trace async-span name (`"nb/allreduce"` etc.), fixed at launch.
+    trace_name: &'static str,
+    /// Trace async-span id: the launch tag namespaced by the
+    /// communicator's tag space, unique per rank timeline.
+    trace_id: u64,
 }
 
 impl CollectiveHandle {
@@ -178,15 +183,8 @@ impl CollectiveHandle {
     /// after the error keeps `CommHandle::inflight()` accounting exact.
     pub fn try_complete(&mut self, comm: &mut CommHandle) -> Result<bool, TransportError> {
         let t0 = Instant::now();
-        let release = |counted: &mut bool, comm: &mut CommHandle| {
-            if *counted {
-                *counted = false;
-                comm.inflight_dec();
-            }
-        };
-        if let Some(e) = &self.failed {
-            let e = e.clone();
-            release(&mut self.counted, comm);
+        if let Some(e) = self.failed.clone() {
+            self.release(comm);
             return Err(e);
         }
         let done = self.poll(comm, false);
@@ -196,14 +194,26 @@ impl CollectiveHandle {
         match done {
             Ok(d) => {
                 if d {
-                    release(&mut self.counted, comm);
+                    self.release(comm);
                 }
                 Ok(d)
             }
             Err(e) => {
-                release(&mut self.counted, comm);
+                self.release(comm);
                 Err(e)
             }
+        }
+    }
+
+    /// Releases the in-flight slot — exactly once per handle, whether the
+    /// op completed, failed, or was waited — and closes the trace async
+    /// span at the same moment: the release point *is* the end of the
+    /// collective's lifetime as far as overlap accounting is concerned.
+    fn release(&mut self, comm: &mut CommHandle) {
+        if self.counted {
+            self.counted = false;
+            comm.inflight_dec();
+            a2sgd_trace::async_end(self.trace_name, self.trace_id);
         }
     }
 
@@ -217,10 +227,7 @@ impl CollectiveHandle {
             Some(e) => Err(e),
             None => self.poll(comm, true).map(|done| debug_assert!(done)),
         };
-        if self.counted {
-            self.counted = false;
-            comm.inflight_dec();
-        }
+        self.release(comm);
         outcome?;
         match comm.cost_model() {
             None => comm.add_clock(t0.elapsed().as_secs_f64()),
@@ -364,7 +371,32 @@ impl CommHandle {
         if self.cost_model().is_none() {
             self.add_clock(t0.elapsed().as_secs_f64());
         }
-        CollectiveHandle { op, payload_bytes, cost_kind, failed: None, counted: true }
+        let (trace_name, op_name, op_tag) = match &op {
+            Op::Allgather { tag, .. } => ("nb/allgather", "allgather", *tag),
+            Op::Allreduce(rd) => ("nb/allreduce", "allreduce", rd.tag),
+            Op::Exchange { tag, .. } => ("nb/exchange", "exchange", *tag),
+        };
+        let trace_id = (self.space() << 48) ^ op_tag;
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::async_begin(
+                trace_name,
+                trace_id,
+                a2sgd_trace::Args::Collective {
+                    op: op_name,
+                    plane: self.plane(),
+                    bytes: payload_bytes as u64,
+                },
+            );
+        }
+        CollectiveHandle {
+            op,
+            payload_bytes,
+            cost_kind,
+            failed: None,
+            counted: true,
+            trace_name,
+            trace_id,
+        }
     }
 
     /// Launches a nonblocking allreduce-sum of `data` (recursive doubling

@@ -42,6 +42,30 @@ const GROUP_BARRIER: u64 = (1 << 63) | (1 << 62);
 /// Group-internal clock-exchange tags: bit 63 + bit 61.
 const GROUP_CLOCK: u64 = (1 << 63) | (1 << 61);
 
+/// Classifies a wire tag into the tag space (communicator) whose
+/// [`TrafficStats`](crate::TrafficStats) account the frame lands in, or
+/// `None` for frames that are deliberately *not* accounted — the modeled
+/// backends' group clock-exchange gathers, which exist only to rendezvous
+/// the simulated clock. This is the single place the tag bit layout is
+/// interpreted for auditing: span-derived per-space wire bytes grouped by
+/// this function must equal each communicator's `wire_bytes` exactly.
+pub fn tag_space(tag: u64) -> Option<u64> {
+    if tag >> 63 == 0 {
+        // Collective payload tags: the space sits in bits 48..63.
+        return Some(tag >> SPACE_SHIFT);
+    }
+    if tag & GROUP_CLOCK == GROUP_CLOCK {
+        return None; // modeled clock rendezvous: never hits TrafficStats
+    }
+    if tag & GROUP_BARRIER == GROUP_BARRIER {
+        // Group barrier frames carry their space in bits 40..55 and are
+        // billed to the group communicator.
+        return Some((tag >> 40) & (MAX_SPACE - 1));
+    }
+    // Root-transport barrier frames (TCP dissemination): world plane.
+    Some(0)
+}
+
 /// One rank's endpoint of a split sub-communicator (see module docs).
 pub struct GroupTransport {
     inner: SharedTransport,

@@ -10,8 +10,11 @@
 use crate::transport::wire::{Payload, PayloadRef};
 use crate::transport::{Transport, TransportError};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Allocator for [`InProcShared::trace_salt`] values.
+static NEXT_TRACE_SALT: AtomicU64 = AtomicU64::new(1);
 
 struct Msg {
     tag: u64,
@@ -60,6 +63,10 @@ pub struct InProcShared {
     barrier: SenseBarrier,
     /// Per-rank (clock, payload-bytes) deposit slots for clock syncing.
     slots: Vec<Mutex<(f64, f64)>>,
+    /// Distinguishes concurrent mailbox worlds in trace flow ids: the
+    /// mixed-backend hierarchy runs one in-process world per group, whose
+    /// `(from, to, tag)` triples would otherwise collide in a merged trace.
+    trace_salt: u64,
 }
 
 impl InProcShared {
@@ -71,6 +78,7 @@ impl InProcShared {
             mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
             barrier: SenseBarrier::new(world),
             slots: (0..world).map(|_| Mutex::new((0.0, 0.0))).collect(),
+            trace_salt: NEXT_TRACE_SALT.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -87,6 +95,12 @@ pub struct InProc {
     rank: usize,
     shared: Arc<InProcShared>,
     local_sense: bool,
+}
+
+impl InProc {
+    fn flow(&self, from: usize, to: usize, tag: u64) -> u64 {
+        a2sgd_trace::flow_id(((from as u64) << 32) | to as u64, tag, self.shared.trace_salt)
+    }
 }
 
 impl Transport for InProc {
@@ -108,21 +122,50 @@ impl Transport for InProc {
         tag: u64,
         payload: PayloadRef<'_>,
     ) -> Result<u64, TransportError> {
+        let t0 = a2sgd_trace::now_ns();
         let mb = &self.shared.mailboxes[to];
         let mut q = mb.q.lock();
         q.push(Msg { tag, from: self.rank, data: payload.to_owned() });
         mb.cv.notify_all();
+        drop(q);
+        let bytes = payload.byte_len() as u64;
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span_flow(
+                crate::transport::send_span_name(payload.kind()),
+                t0,
+                a2sgd_trace::Args::Wire { from: self.rank, to, tag, bytes },
+                self.flow(self.rank, to, tag),
+                true,
+            );
+        }
         // A memcpy has no framing: wire bytes == payload bytes. Shared
         // memory has no peer loss either — sends are infallible.
-        Ok(payload.byte_len() as u64)
+        Ok(bytes)
     }
 
     fn recv_bytes(&mut self, from: usize, tag: u64) -> Result<Payload, TransportError> {
+        let t0 = a2sgd_trace::now_ns();
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.q.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.tag == tag && m.from == from) {
-                return Ok(q.swap_remove(pos).data);
+                let data = q.swap_remove(pos).data;
+                drop(q);
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span_flow(
+                        crate::transport::recv_span_name(data.kind()),
+                        t0,
+                        a2sgd_trace::Args::Wire {
+                            from,
+                            to: self.rank,
+                            tag,
+                            bytes: data.byte_len() as u64,
+                        },
+                        self.flow(from, self.rank, tag),
+                        false,
+                    );
+                }
+                return Ok(data);
             }
             mb.cv.wait(&mut q);
         }
@@ -130,10 +173,33 @@ impl Transport for InProc {
 
     fn try_recv_bytes(&mut self, from: usize, tag: u64) -> Result<Option<Payload>, TransportError> {
         // Mailbox polling: one lock, one scan, no wait — the nonblocking
-        // collectives' progress probe.
+        // collectives' progress probe. Only hits are traced; recording
+        // every miss would bury the timeline in poll noise.
+        let t0 = a2sgd_trace::now_ns();
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.q.lock();
-        Ok(q.iter().position(|m| m.tag == tag && m.from == from).map(|pos| q.swap_remove(pos).data))
+        let got = q
+            .iter()
+            .position(|m| m.tag == tag && m.from == from)
+            .map(|pos| q.swap_remove(pos).data);
+        drop(q);
+        if let Some(data) = &got {
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::closed_span_flow(
+                    crate::transport::recv_span_name(data.kind()),
+                    t0,
+                    a2sgd_trace::Args::Wire {
+                        from,
+                        to: self.rank,
+                        tag,
+                        bytes: data.byte_len() as u64,
+                    },
+                    self.flow(from, self.rank, tag),
+                    false,
+                );
+            }
+        }
+        Ok(got)
     }
 
     fn barrier(&mut self) -> (u64, u64) {

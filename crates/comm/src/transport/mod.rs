@@ -47,6 +47,26 @@ pub use rendezvous::{RankSpec, Rendezvous, WorldSpec};
 pub use tcp::{Tcp, TcpConfig};
 pub use wire::{Payload, PayloadKind, PayloadRef};
 
+/// Trace-span name for a send of the given payload kind — the "payload
+/// kind" leg of the transport instrumentation (tag and byte size travel in
+/// the span's `Wire` args).
+pub(crate) fn send_span_name(kind: PayloadKind) -> &'static str {
+    match kind {
+        PayloadKind::Bytes => "send/bytes",
+        PayloadKind::F32Dense => "send/f32",
+        PayloadKind::PackedU64 => "send/u64",
+    }
+}
+
+/// Trace-span name for a receive of the given payload kind.
+pub(crate) fn recv_span_name(kind: PayloadKind) -> &'static str {
+    match kind {
+        PayloadKind::Bytes => "recv/bytes",
+        PayloadKind::F32Dense => "recv/f32",
+        PayloadKind::PackedU64 => "recv/u64",
+    }
+}
+
 /// Typed peer-loss/IO failure on a transport link — the first slice of the
 /// elastic/fault-handling roadmap item. A dead rank used to surface as an
 /// opaque panic deep inside a reader thread; now `recv_bytes`,

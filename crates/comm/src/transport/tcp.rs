@@ -353,16 +353,27 @@ impl Transport for Tcp {
         tag: u64,
         payload: PayloadRef<'_>,
     ) -> Result<u64, TransportError> {
+        let t0 = a2sgd_trace::now_ns();
         let rank = self.rank;
         let failed =
             |e: std::io::Error| TransportError::SendFailed { rank, peer: to, cause: e.to_string() };
         let w = &mut self.peer(to).writer;
         let n = wire::write_frame(w, tag, payload).map_err(failed)?;
         w.flush().map_err(failed)?;
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span_flow(
+                crate::transport::send_span_name(payload.kind()),
+                t0,
+                a2sgd_trace::Args::Wire { from: rank, to, tag, bytes: n },
+                a2sgd_trace::flow_id(((rank as u64) << 32) | to as u64, tag, 0),
+                true,
+            );
+        }
         Ok(n)
     }
 
     fn recv_bytes(&mut self, from: usize, tag: u64) -> Result<Payload, TransportError> {
+        let t0 = a2sgd_trace::now_ns();
         let me = self.rank;
         let inbox = &self.peers[from]
             .as_ref()
@@ -371,7 +382,23 @@ impl Transport for Tcp {
         let mut st = inbox.state.lock();
         loop {
             if let Some(pos) = st.frames.iter().position(|(t, _)| *t == tag) {
-                return Ok(st.frames.remove(pos).unwrap().1);
+                let data = st.frames.remove(pos).unwrap().1;
+                drop(st);
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span_flow(
+                        crate::transport::recv_span_name(data.kind()),
+                        t0,
+                        a2sgd_trace::Args::Wire {
+                            from,
+                            to: me,
+                            tag,
+                            bytes: wire::frame_wire_bytes(data.byte_len()),
+                        },
+                        a2sgd_trace::flow_id(((from as u64) << 32) | me as u64, tag, 0),
+                        false,
+                    );
+                }
+                return Ok(data);
             }
             if let Some(cause) = &st.closed {
                 return Err(TransportError::PeerClosed {
@@ -386,6 +413,7 @@ impl Transport for Tcp {
     }
 
     fn try_recv_bytes(&mut self, from: usize, tag: u64) -> Result<Option<Payload>, TransportError> {
+        let t0 = a2sgd_trace::now_ns();
         let me = self.rank;
         let inbox = &self.peers[from]
             .as_ref()
@@ -393,7 +421,25 @@ impl Transport for Tcp {
             .inbox;
         let mut st = inbox.state.lock();
         if let Some(pos) = st.frames.iter().position(|(t, _)| *t == tag) {
-            return Ok(Some(st.frames.remove(pos).unwrap().1));
+            let data = st.frames.remove(pos).unwrap().1;
+            drop(st);
+            // Only hits are traced — recording every poll miss would bury
+            // the timeline in progress-probe noise.
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::closed_span_flow(
+                    crate::transport::recv_span_name(data.kind()),
+                    t0,
+                    a2sgd_trace::Args::Wire {
+                        from,
+                        to: me,
+                        tag,
+                        bytes: wire::frame_wire_bytes(data.byte_len()),
+                    },
+                    a2sgd_trace::flow_id(((from as u64) << 32) | me as u64, tag, 0),
+                    false,
+                );
+            }
+            return Ok(Some(data));
         }
         // Drained and dead ⇒ the frame can never arrive: fail now rather
         // than letting a later blocking wait discover it.

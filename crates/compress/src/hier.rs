@@ -117,6 +117,12 @@ impl GradientSynchronizer for HierarchicalSynchronizer {
     fn complexity(&self) -> &'static str {
         self.inner.complexity()
     }
+
+    fn plane_traffic(
+        &self,
+    ) -> Option<(cluster_comm::TrafficStats, Option<cluster_comm::TrafficStats>)> {
+        Some((self.comm.intra.stats(), self.comm.inter.as_ref().map(|c| c.stats())))
+    }
 }
 
 #[cfg(test)]

@@ -82,7 +82,7 @@ pub use signsgd::SignSgdEf;
 pub use terngrad::TernGrad;
 pub use topk::TopK;
 
-use cluster_comm::{CollectiveHandle, CommHandle};
+use cluster_comm::{CollectiveHandle, CommHandle, TrafficStats};
 use std::ops::Range;
 
 /// Per-iteration synchronization accounting.
@@ -216,6 +216,16 @@ pub trait GradientSynchronizer: Send {
 
     /// Asymptotic computation complexity label (Table 2 column 2).
     fn complexity(&self) -> &'static str;
+
+    /// Per-plane traffic for synchronizers that own private
+    /// sub-communicators: `(intra, inter)` [`TrafficStats`], with `inter`
+    /// `None` on non-leader ranks. Flat synchronizers return `None` —
+    /// their traffic lives on the world communicator the caller already
+    /// holds. Trace audits use this to cross-check span-derived per-plane
+    /// wire bytes against the communicators' own accounting.
+    fn plane_traffic(&self) -> Option<(TrafficStats, Option<TrafficStats>)> {
+        None
+    }
 }
 
 impl dyn GradientSynchronizer + '_ {

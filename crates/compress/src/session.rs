@@ -59,8 +59,9 @@ enum Slot {
     /// needs the whole gradient, so the copy waits for `finish`).
     Staged(Vec<f32>),
     /// Submitted and already on the wire (streaming synchronizers), with
-    /// the launch instant for the overlap measure.
-    InFlight(CollectiveHandle, Instant),
+    /// the launch instant for the overlap measure and the launch trace
+    /// timestamp for the `bucket/inflight` async span (0 when untraced).
+    InFlight(CollectiveHandle, Instant, u64),
 }
 
 /// One training step's bucketed synchronization, driven bucket-by-bucket
@@ -138,7 +139,9 @@ impl<'s> SyncSession<'s> {
             "bucket {bucket_id} slice length disagrees with its bounds"
         );
         self.bits_before.get_or_insert_with(|| comm.stats().logical_wire_bits);
+        let bytes = (4 * data.len()) as u64;
         if self.sync.streams_buckets() {
+            let ts = a2sgd_trace::now_ns();
             let t0 = Instant::now();
             let handle = self
                 .sync
@@ -148,12 +151,28 @@ impl<'s> SyncSession<'s> {
             // exchange_seconds); the overlap window opens only once the
             // frames are actually in flight.
             let launched = Instant::now();
+            let launched_ns = a2sgd_trace::now_ns();
             self.exchange_seconds += (launched - t0).as_secs_f64();
-            self.slots[bucket_id] = Slot::InFlight(handle, launched);
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::closed_span(
+                    "bucket/submit",
+                    ts,
+                    a2sgd_trace::Args::Bucket { bucket: bucket_id, bytes },
+                );
+            }
+            self.slots[bucket_id] = Slot::InFlight(handle, launched, launched_ns);
         } else {
+            let ts = a2sgd_trace::now_ns();
             let t0 = Instant::now();
             self.slots[bucket_id] = Slot::Staged(data.to_vec());
             self.compress_seconds += t0.elapsed().as_secs_f64();
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::closed_span(
+                    "bucket/stage",
+                    ts,
+                    a2sgd_trace::Args::Bucket { bucket: bucket_id, bytes },
+                );
+            }
         }
     }
 
@@ -188,13 +207,34 @@ impl<'s> SyncSession<'s> {
             // between each launch and now was hidden under the caller's
             // own compute (for hook-driven steps: the backward pass).
             let drain_begin = Instant::now();
+            let drain_ns = a2sgd_trace::now_ns();
             let mut overlap_seconds = 0.0f64;
-            for (r, slot) in bounds.iter().zip(slots) {
-                let Slot::InFlight(handle, launched) = slot else { unreachable!() };
+            for (bucket, (r, slot)) in bounds.iter().zip(slots).enumerate() {
+                let Slot::InFlight(handle, launched, launched_ns) = slot else { unreachable!() };
                 overlap_seconds += (drain_begin - launched).as_secs_f64();
+                let bytes = (4 * (r.end - r.start)) as u64;
+                if a2sgd_trace::enabled() {
+                    // The overlap window itself: launch → drain start, the
+                    // exact interval overlap_seconds accumulates.
+                    a2sgd_trace::async_span_at(
+                        "bucket/inflight",
+                        bucket as u64,
+                        launched_ns,
+                        drain_ns,
+                        a2sgd_trace::Args::Bucket { bucket, bytes },
+                    );
+                }
+                let ts = a2sgd_trace::now_ns();
                 let t0 = Instant::now();
                 sync.finish_bucket(&mut grad[r.clone()], handle, comm);
                 exchange_seconds += t0.elapsed().as_secs_f64();
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span(
+                        "bucket/drain",
+                        ts,
+                        a2sgd_trace::Args::Bucket { bucket, bytes },
+                    );
+                }
             }
             SyncStats {
                 compress_seconds,
@@ -258,11 +298,32 @@ pub fn pipeline_allgather(
             .unwrap_or_else(|e| panic!("bucket {i} exchange failed: {e}"))
             .expect_gathered();
         *exchange_seconds += t.elapsed().as_secs_f64();
+        let ts = a2sgd_trace::now_ns();
+        let frame_bytes: u64 = if a2sgd_trace::enabled() {
+            frames.iter().map(|p| p.byte_len() as u64).sum()
+        } else {
+            0
+        };
         decode(&bounds[i], frames);
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "bucket/decode",
+                ts,
+                a2sgd_trace::Args::Bucket { bucket: i, bytes: frame_bytes },
+            );
+        }
     };
 
     for (i, r) in bounds.iter().enumerate() {
+        let ts = a2sgd_trace::now_ns();
         let payload = encode(r);
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "bucket/encode",
+                ts,
+                a2sgd_trace::Args::Bucket { bucket: i, bytes: payload.byte_len() as u64 },
+            );
+        }
         let t = Instant::now();
         let handle = comm.start_allgather_bytes(payload);
         exchange_seconds += t.elapsed().as_secs_f64();

@@ -168,6 +168,15 @@ impl GradHook for HookedStep<'_> {
         *left -= 1;
         if *left == 0 {
             let r = &self.layout.bounds[seg.bucket];
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::instant(
+                    "grad_ready",
+                    a2sgd_trace::Args::Bucket {
+                        bucket: seg.bucket,
+                        bytes: (4 * (r.end - r.start)) as u64,
+                    },
+                );
+            }
             self.session.submit(seg.bucket, &self.flat[r.clone()], self.comm);
         }
     }

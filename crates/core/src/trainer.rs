@@ -162,6 +162,14 @@ pub struct TrainConfig {
     /// Iterations at which worker 0 records a gradient histogram
     /// (Figure 1); empty to disable.
     pub grad_hist_iters: Vec<usize>,
+    /// Span-trace output directory: `Some(dir)` records every rank's
+    /// transport/collective/session/trainer spans into
+    /// `dir/trace-<pid>.jsonl` (merge with `a2sgd_trace::merge_dir` or the
+    /// `trace_report` binary into one Chrome trace). `None` (the default)
+    /// falls back to the `A2SGD_TRACE=<dir>` environment — which is also
+    /// how forked TCP rank processes inherit the setting — and records
+    /// nothing when that is unset.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl TrainConfig {
@@ -219,6 +227,13 @@ pub struct TrainReport {
     /// bytes. (Hierarchical sub-communicators account separately, via the
     /// intra/inter wire-bit splits.)
     pub measured_wire_bytes: u64,
+    /// Total frames the flat world communicator put on the wire over the
+    /// whole run (collective payload frames plus barrier control frames).
+    pub messages: u64,
+    /// Of `measured_wire_bytes`, the framing overhead beyond payload
+    /// bytes — frame headers and empty control frames (0 in-proc, where a
+    /// send is a bare memcpy).
+    pub framing_bytes: u64,
     /// Mean compression (encode/decode compute) time per iteration
     /// (worker 0).
     pub avg_compress_seconds: f64,
@@ -249,6 +264,8 @@ struct WorkerOut {
     intra_wire_bits_total: u64,
     inter_wire_bits_total: u64,
     wire_bytes_measured: u64,
+    messages: u64,
+    bytes_sent: u64,
     compress_seconds_total: f64,
     exchange_seconds_total: f64,
     overlap_seconds_total: f64,
@@ -292,6 +309,8 @@ fn build_report(cfg: &TrainConfig, w0: &WorkerOut, divergence: f64) -> TrainRepo
         intra_wire_bits_per_iter: per_iter(w0.intra_wire_bits_total),
         inter_wire_bits_per_iter: per_iter(w0.inter_wire_bits_total),
         measured_wire_bytes: w0.wire_bytes_measured,
+        messages: w0.messages,
+        framing_bytes: w0.wire_bytes_measured.saturating_sub(w0.bytes_sent),
         avg_compress_seconds: if w0.iters > 0 {
             w0.compress_seconds_total / w0.iters as f64
         } else {
@@ -328,7 +347,18 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
     let cfg = cfg.clone();
     let (vision, lm) = build_datasets(&cfg);
 
-    match cfg.backend {
+    // Tracing lifecycle: explicit config wins, the A2SGD_TRACE environment
+    // (inherited by forked TCP rank processes) is the fallback. Each
+    // process writes its own `trace-<pid>.jsonl` at the end of the run.
+    let tracing = match &cfg.trace {
+        Some(dir) => {
+            a2sgd_trace::enable(dir);
+            true
+        }
+        None => a2sgd_trace::init_from_env(),
+    };
+
+    let report = match cfg.backend {
         CommBackend::InProc => {
             let cfgr = &cfg;
             let outs = run_cluster(cfg.workers, cfg.profile, move |comm| {
@@ -348,7 +378,12 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             let out = run_worker(&cfg, &mut comm, vision.as_deref(), lm.as_deref());
             build_report(&cfg, &out, out.divergence)
         }
+    };
+    if tracing {
+        a2sgd_trace::flush_process_file();
+        a2sgd_trace::disable();
     }
+    report
 }
 
 fn run_worker(
@@ -358,6 +393,16 @@ fn run_worker(
     lm: Option<&MarkovText>,
 ) -> WorkerOut {
     let rank = comm.rank();
+    if a2sgd_trace::enabled() {
+        a2sgd_trace::set_thread_rank(rank);
+        // Announce the world plane, then drop a clock-alignment instant
+        // right after a barrier: every rank's "sync_point" lands at the
+        // same real moment, which is what the merger shifts process
+        // clocks by.
+        comm.set_plane("world");
+        comm.barrier();
+        a2sgd_trace::mark_sync_point();
+    }
     let mut model = build_model(cfg);
     let n = param_count(model.as_mut());
     let mut sync = cfg.algo.build(n, cfg.seed ^ 0x5EED, rank);
@@ -460,9 +505,13 @@ fn run_worker(
             };
 
             // ---- forward / backward (+ hooked sync) --------------------
+            let fwd_ns = a2sgd_trace::now_ns();
             model.zero_grad();
             let logits = model.forward(&x, Mode::Train);
             let lo = softmax_cross_entropy(&logits, &targets);
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::closed_span("phase/forward", fwd_ns, a2sgd_trace::Args::None);
+            }
             loss_sum += lo.loss as f64;
             let want_hist = rank == 0 && cfg.grad_hist_iters.contains(&global_iter);
             let flat = &mut flats[global_iter % 2];
@@ -473,15 +522,28 @@ fn run_worker(
                 // while earlier layers are still backpropagating. `finish`
                 // drains the tail after backward returns.
                 let mut step = HookedStep::begin(layout, sync.as_mut(), flat, comm);
+                let bwd_ns = a2sgd_trace::now_ns();
                 let _ = model.backward_hooked(&lo.dlogits, &mut step);
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span("phase/backward", bwd_ns, a2sgd_trace::Args::None);
+                }
                 step.advance_compute(t0.elapsed().as_secs_f64());
                 if want_hist {
                     histograms.push((global_iter, grad_histogram(step.local_grad())));
                 }
-                step.finish()
+                let ex_ns = a2sgd_trace::now_ns();
+                let stats = step.finish();
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span("phase/exchange", ex_ns, a2sgd_trace::Args::None);
+                }
+                stats
             } else {
+                let bwd_ns = a2sgd_trace::now_ns();
                 let _ = model.backward(&lo.dlogits);
                 flatten_grads(model.as_mut(), flat);
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span("phase/backward", bwd_ns, a2sgd_trace::Args::None);
+                }
                 comm.advance_compute(t0.elapsed().as_secs_f64());
                 if want_hist {
                     histograms.push((global_iter, grad_histogram(flat)));
@@ -489,7 +551,12 @@ fn run_worker(
                 // Drive the bucketed pipeline over the flat gradient we
                 // already hold contiguously: bucket i's exchange is in
                 // flight while bucket i+1 encodes inside `sync_bucketed`.
-                sync.sync_bucketed(flat, &bounds, comm)
+                let ex_ns = a2sgd_trace::now_ns();
+                let stats = sync.sync_bucketed(flat, &bounds, comm);
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span("phase/exchange", ex_ns, a2sgd_trace::Args::None);
+                }
+                stats
             };
             wire_bits_total += stats.wire_bits;
             intra_wire_bits_total += stats.intra_wire_bits;
@@ -499,8 +566,12 @@ fn run_worker(
             overlap_total += stats.overlap_seconds;
             scatter_grads(model.as_mut(), flat);
             let epoch_frac = epoch as f32 + it as f32 / iters_per_epoch as f32;
+            let opt_ns = a2sgd_trace::now_ns();
             let t1 = Instant::now();
             opt.step(model.as_mut(), cfg.lr.lr_at(epoch_frac));
+            if a2sgd_trace::enabled() {
+                a2sgd_trace::closed_span("phase/optimizer", opt_ns, a2sgd_trace::Args::None);
+            }
             comm.advance_compute(t1.elapsed().as_secs_f64());
             iters_done += 1;
         }
@@ -543,6 +614,40 @@ fn run_worker(
         e.metric = f64::from_bits(m);
     }
 
+    // ---- audit instants: the communicators' own accounting, embedded in
+    // the trace so `trace_report` can cross-check span algebra against it.
+    if a2sgd_trace::enabled() {
+        let s = comm.stats();
+        let val = |name: &'static str, v: f64| {
+            a2sgd_trace::instant(name, a2sgd_trace::Args::Value(v));
+        };
+        val("audit/wire_bytes/world", s.wire_bytes as f64);
+        val("audit/messages/world", s.messages as f64);
+        val("audit/bytes_sent/world", s.bytes_sent as f64);
+        if let Some((intra, inter)) = sync.plane_traffic() {
+            val("audit/wire_bytes/intra", intra.wire_bytes as f64);
+            val("audit/messages/intra", intra.messages as f64);
+            val("audit/bytes_sent/intra", intra.bytes_sent as f64);
+            if let Some(inter) = inter {
+                val("audit/wire_bytes/inter", inter.wire_bytes as f64);
+                val("audit/messages/inter", inter.messages as f64);
+                val("audit/bytes_sent/inter", inter.bytes_sent as f64);
+            }
+        }
+        val("audit/overlap_seconds", overlap_total);
+        val("audit/exchange_seconds", exchange_total);
+        val("audit/overlap_enabled", if cfg.overlap_backward { 1.0 } else { 0.0 });
+        a2sgd_trace::metrics::counter_add("iters", iters_done as u64);
+        a2sgd_trace::metrics::gauge_set(
+            "wire_bits_per_iter",
+            if iters_done > 0 { wire_bits_total as f64 / iters_done as f64 } else { 0.0 },
+        );
+        a2sgd_trace::metrics::hist_record(
+            "overlap_seconds_per_iter",
+            if iters_done > 0 { overlap_total / iters_done as f64 } else { 0.0 },
+        );
+    }
+
     WorkerOut {
         epochs,
         sim_seconds: comm.clock(),
@@ -551,6 +656,8 @@ fn run_worker(
         intra_wire_bits_total,
         inter_wire_bits_total,
         wire_bytes_measured: comm.stats().wire_bytes,
+        messages: comm.stats().messages,
+        bytes_sent: comm.stats().bytes_sent,
         compress_seconds_total: compress_total,
         exchange_seconds_total: exchange_total,
         overlap_seconds_total: overlap_total,
@@ -645,6 +752,7 @@ mod tests {
             topology: Topology::Flat,
             profile: NetworkProfile::infiniband_100g(),
             grad_hist_iters: vec![0, 5],
+            trace: None,
         }
     }
 

@@ -1,0 +1,267 @@
+//! Process-wide metrics registry: counters, gauges and histograms, gated
+//! on the same runtime switch as the span recorder. Snapshots ride the
+//! per-process trace file so [`crate::load_dir`] can merge them across
+//! ranks (counters and histograms combine; gauges keep the last write).
+
+use crate::json::{self, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Metric flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic sum of integer increments.
+    Counter,
+    /// Last-write-wins scalar.
+    Gauge,
+    /// Count/sum/min/max summary of recorded samples.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(u64),
+    Gauge(f64),
+    Hist { count: u64, sum: f64, min: f64, max: f64 },
+}
+
+/// A snapshotted metric. `value` is the headline number: the counter
+/// total, the gauge reading, or the histogram mean.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Registry key.
+    pub name: String,
+    /// Flavor.
+    pub kind: Kind,
+    /// Headline value (see type docs).
+    pub value: f64,
+    /// Sample count (histograms; 0 otherwise).
+    pub count: u64,
+    /// Sample sum (histograms; 0 otherwise).
+    pub sum: f64,
+    /// Smallest sample (histograms; 0 otherwise).
+    pub min: f64,
+    /// Largest sample (histograms; 0 otherwise).
+    pub max: f64,
+}
+
+fn store() -> &'static Mutex<BTreeMap<String, Slot>> {
+    static S: OnceLock<Mutex<BTreeMap<String, Slot>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Adds `n` to the named counter. No-op while tracing is disabled.
+pub fn counter_add(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut s = store().lock();
+    if let Slot::Counter(c) = s.entry(name.to_owned()).or_insert(Slot::Counter(0)) {
+        *c += n;
+    }
+}
+
+/// Sets the named gauge. No-op while tracing is disabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    store().lock().insert(name.to_owned(), Slot::Gauge(v));
+}
+
+/// Records one histogram sample. No-op while tracing is disabled.
+pub fn hist_record(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut s = store().lock();
+    if let Slot::Hist { count, sum, min, max } = s.entry(name.to_owned()).or_insert(Slot::Hist {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    }) {
+        *count += 1;
+        *sum += v;
+        *min = min.min(v);
+        *max = max.max(v);
+    }
+}
+
+fn to_metric(name: &str, slot: &Slot) -> Metric {
+    match *slot {
+        Slot::Counter(c) => Metric {
+            name: name.to_owned(),
+            kind: Kind::Counter,
+            value: c as f64,
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        },
+        Slot::Gauge(v) => Metric {
+            name: name.to_owned(),
+            kind: Kind::Gauge,
+            value: v,
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        },
+        Slot::Hist { count, sum, min, max } => Metric {
+            name: name.to_owned(),
+            kind: Kind::Histogram,
+            value: if count > 0 { sum / count as f64 } else { 0.0 },
+            count,
+            sum,
+            min: if count > 0 { min } else { 0.0 },
+            max: if count > 0 { max } else { 0.0 },
+        },
+    }
+}
+
+/// Current registry contents, sorted by name.
+pub fn snapshot() -> Vec<Metric> {
+    store().lock().iter().map(|(k, v)| to_metric(k, v)).collect()
+}
+
+/// Clears the registry.
+pub fn reset() {
+    store().lock().clear();
+}
+
+/// Snapshots the registry as JSONL lines (one metric per line) and clears
+/// it — called by [`crate::flush_process_file`].
+pub fn drain_lines() -> Vec<String> {
+    let mut s = store().lock();
+    let lines = s
+        .iter()
+        .map(|(name, slot)| {
+            let m = to_metric(name, slot);
+            let mut line = String::from("{\"metric\":");
+            let kind = match m.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "hist",
+            };
+            json::push_str_lit(&mut line, kind);
+            line.push_str(",\"name\":");
+            json::push_str_lit(&mut line, &m.name);
+            let _ = write!(line, ",\"value\":{}", m.value);
+            if m.kind == Kind::Histogram {
+                let _ = write!(
+                    line,
+                    ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                    m.count, m.sum, m.min, m.max
+                );
+            }
+            line.push('}');
+            line
+        })
+        .collect();
+    s.clear();
+    lines
+}
+
+/// Parses one JSONL metric line back into a [`Metric`].
+pub fn parse_line(obj: &Value) -> Result<Metric, String> {
+    let kind = match obj.get("metric").and_then(Value::as_str) {
+        Some("counter") => Kind::Counter,
+        Some("gauge") => Kind::Gauge,
+        Some("hist") => Kind::Histogram,
+        other => return Err(format!("bad metric kind {other:?}")),
+    };
+    let name = obj.get("name").and_then(Value::as_str).ok_or("metric: name")?.to_owned();
+    let value = obj.get("value").and_then(Value::as_f64).ok_or("metric: value")?;
+    let (count, sum, min, max) = if kind == Kind::Histogram {
+        (
+            obj.get("count").and_then(Value::as_u64).unwrap_or(0),
+            obj.get("sum").and_then(Value::as_f64).unwrap_or(0.0),
+            obj.get("min").and_then(Value::as_f64).unwrap_or(0.0),
+            obj.get("max").and_then(Value::as_f64).unwrap_or(0.0),
+        )
+    } else {
+        (0, 0.0, 0.0, 0.0)
+    };
+    Ok(Metric { name, kind, value, count, sum, min, max })
+}
+
+/// Folds `incoming` (one process's snapshot) into `acc`: counters and
+/// histograms combine, gauges keep the last file's reading.
+pub fn merge_into(acc: &mut Vec<Metric>, incoming: Vec<Metric>) {
+    for m in incoming {
+        match acc.iter_mut().find(|a| a.name == m.name && a.kind == m.kind) {
+            None => acc.push(m),
+            Some(a) => match m.kind {
+                Kind::Counter => a.value += m.value,
+                Kind::Gauge => a.value = m.value,
+                Kind::Histogram => {
+                    a.min = if a.count == 0 { m.min } else { a.min.min(m.min) };
+                    a.max = if a.count == 0 { m.max } else { a.max.max(m.max) };
+                    a.count += m.count;
+                    a.sum += m.sum;
+                    a.value = if a.count > 0 { a.sum / a.count as f64 } else { 0.0 };
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_combines_counters_and_hists() {
+        let mut acc = vec![Metric {
+            name: "frames".into(),
+            kind: Kind::Counter,
+            value: 3.0,
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }];
+        merge_into(
+            &mut acc,
+            vec![
+                Metric {
+                    name: "frames".into(),
+                    kind: Kind::Counter,
+                    value: 4.0,
+                    count: 0,
+                    sum: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                },
+                Metric {
+                    name: "lat".into(),
+                    kind: Kind::Histogram,
+                    value: 2.0,
+                    count: 2,
+                    sum: 4.0,
+                    min: 1.0,
+                    max: 3.0,
+                },
+            ],
+        );
+        merge_into(
+            &mut acc,
+            vec![Metric {
+                name: "lat".into(),
+                kind: Kind::Histogram,
+                value: 5.0,
+                count: 1,
+                sum: 5.0,
+                min: 5.0,
+                max: 5.0,
+            }],
+        );
+        assert_eq!(acc.iter().find(|m| m.name == "frames").unwrap().value, 7.0);
+        let lat = acc.iter().find(|m| m.name == "lat").unwrap();
+        assert_eq!((lat.count, lat.sum, lat.min, lat.max), (3, 9.0, 1.0, 5.0));
+        assert!((lat.value - 3.0).abs() < 1e-12);
+    }
+}

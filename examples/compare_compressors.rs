@@ -36,6 +36,8 @@ fn main() {
             "final top-1 %",
             "bits/iter/worker",
             "ratio vs dense",
+            "messages",
+            "framing B",
             "sim time (s)",
             "t_compress/iter",
             "t_exchange/iter",
@@ -56,6 +58,8 @@ fn main() {
             format!("{:.2}", rep.final_metric),
             rep.wire_bits_per_iter.to_string(),
             format!("{:.0}×", compression_ratio(n_params, rep.wire_bits_per_iter)),
+            rep.messages.to_string(),
+            rep.framing_bytes.to_string(),
             format!("{:.3}", rep.total_sim_seconds),
             fmt_seconds(rep.avg_compress_seconds),
             fmt_seconds(rep.avg_exchange_seconds),
@@ -66,7 +70,10 @@ fn main() {
     println!(
         "Note the A2SGD family's constant 64-bit rows (KLevel: 64·L bits); the last two \
          columns split per-iteration sync cost into compression compute vs measured time \
-         inside collective calls. The hier(dense, A2SGD) row pays a dense intra-group \
-         exchange but keeps the leader-to-leader plane at the same constant 64 bits."
+         inside collective calls. `messages` counts rank-0's point-to-point sends and \
+         `framing B` its wire bytes beyond the raw payload (zero on the in-proc \
+         backend, 16 B/frame over TCP). The hier(dense, A2SGD) row pays a dense \
+         intra-group exchange but keeps the leader-to-leader plane at the same \
+         constant 64 bits."
     );
 }

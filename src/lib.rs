@@ -7,6 +7,7 @@
 //! `PAPER.md` holds the source paper's abstract.
 
 pub use a2sgd;
+pub use a2sgd_trace;
 pub use cluster_comm;
 pub use gradcomp;
 pub use mini_nn;
