@@ -1,0 +1,45 @@
+//! Pins the checkpoint codec's serialize/restore cost — the price of one
+//! `TrainConfig::checkpoint_every` tick. The in-memory encode/decode pair
+//! isolates the hand-rolled codec itself; the file round-trip adds the
+//! atomic temp-write + rename the trainer actually performs, so the gap
+//! between the two rows is pure filesystem tax.
+
+use a2sgd::Checkpoint;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// 16 Ki parameters (64 KiB) plus one momentum lane of the same shape —
+/// the bucket-sized state a worker snapshots per checkpoint tick.
+fn sample(n: usize) -> Checkpoint {
+    let lane: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+    Checkpoint { step: 1234, seed: 0xE1A5_71C0, params: lane.clone(), velocity: vec![lane] }
+}
+
+fn bench_elastic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    let ckpt = sample(16 * 1024);
+    let encoded = ckpt.encode();
+
+    group.bench_with_input(BenchmarkId::new("codec", "encode_64KiB"), &(), |b, _| {
+        b.iter(|| black_box(ckpt.encode()))
+    });
+    group.bench_with_input(BenchmarkId::new("codec", "decode_64KiB"), &(), |b, _| {
+        b.iter(|| Checkpoint::decode(black_box(&encoded)).unwrap())
+    });
+
+    let dir = std::env::temp_dir().join(format!("a2sgd_bench_elastic_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(Checkpoint::file_name(ckpt.step));
+    group.bench_with_input(BenchmarkId::new("file", "write_read_64KiB"), &(), |b, _| {
+        b.iter(|| {
+            ckpt.write(&path).unwrap();
+            black_box(Checkpoint::read(&path).unwrap())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_elastic);
+criterion_main!(benches);

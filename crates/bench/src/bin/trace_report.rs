@@ -1,6 +1,6 @@
 //! Audits a recorded trace directory against the runtime's own counters.
 //!
-//! Run: `trace_report --dir <trace-dir> [--out merged.json]`
+//! Run: `trace_report --dir <trace-dir> [--out merged.json] [--recovery]`
 //!
 //! Loads every `trace-*.jsonl` file written by a traced training run,
 //! aligns per-process clocks, validates the merged Chrome trace-event
@@ -21,6 +21,16 @@
 //!   at least one in-flight exchange interval must intersect a
 //!   `phase/backward` span on the same rank: the timeline itself must
 //!   show communication under the backward pass.
+//!
+//! With `--recovery` the auditor additionally validates an **elastic
+//! recovery timeline** (`a2sgd-elastic` soak runs): some rank recorded a
+//! death (`elastic/killed` by the casualty, `elastic/peer_dead` by its
+//! detectors), every surviving rank ran an `elastic/rerendezvous` span
+//! that *began after* the first recorded death, and each such rank
+//! reached an `elastic/first_sync` instant after its re-rendezvous ended
+//! — i.e. the trace itself proves died → re-formed → resumed, in order.
+//! Recovery runs legitimately strand transport flows at the dead rank, so
+//! in this mode flow imbalance is reported as a warning, not a failure.
 //!
 //! Prints one table per rank plus the merged metrics registry; exits 1 if
 //! any audit fails, so CI can gate on it.
@@ -43,6 +53,14 @@ struct RankView {
     inflight: Vec<(u64, u64)>,
     /// `phase/backward` intervals, ns.
     backward: Vec<(u64, u64)>,
+    /// `elastic/killed` instants, ns (the scripted casualty's own record).
+    killed: Vec<u64>,
+    /// `elastic/peer_dead` instants, ns (survivor-side detections).
+    peer_dead: Vec<u64>,
+    /// `elastic/rerendezvous` spans (census + reconnect), ns.
+    rerendezvous: Vec<(u64, u64)>,
+    /// `elastic/first_sync` instants, ns (first post-recovery collective).
+    first_sync: Vec<u64>,
 }
 
 fn scan_thread(t: &ThreadTrace, view: &mut RankView) {
@@ -66,12 +84,20 @@ fn scan_thread(t: &ThreadTrace, view: &mut RankView) {
             }
             Ph::SpanEnd => {
                 if let Some((name, t0)) = stack.pop() {
-                    if name == "phase/backward" {
-                        view.backward.push((t0, ev.t_ns));
+                    match name {
+                        "phase/backward" => view.backward.push((t0, ev.t_ns)),
+                        "elastic/rerendezvous" => view.rerendezvous.push((t0, ev.t_ns)),
+                        _ => {}
                     }
                 }
             }
             Ph::Instant => match ev.args {
+                Args::Value(_) if ev.name.starts_with("elastic/") => match ev.name {
+                    "elastic/killed" => view.killed.push(ev.t_ns),
+                    "elastic/peer_dead" => view.peer_dead.push(ev.t_ns),
+                    "elastic/first_sync" => view.first_sync.push(ev.t_ns),
+                    _ => {}
+                },
                 Args::Value(v) if ev.name.starts_with("audit/") => {
                     view.audits.insert(ev.name, v);
                 }
@@ -131,10 +157,76 @@ fn intersects(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
     a.iter().any(|&(a0, a1)| b.iter().any(|&(b0, b1)| a0 < b1 && b0 < a1))
 }
 
+/// Validates the elastic recovery timeline: a recorded death, then — on
+/// every rank that re-rendezvoused — detection before the re-rendezvous
+/// span and a first post-recovery sync after it. Prints the timeline
+/// relative to the earliest recorded death.
+fn audit_recovery(views: &[(usize, RankView)], failures: &mut Vec<String>) {
+    println!("recovery timeline:");
+    let first_death =
+        views.iter().flat_map(|(_, v)| v.killed.iter().chain(&v.peer_dead)).copied().min();
+    let Some(first_death) = first_death else {
+        failures.push(
+            "recovery: no elastic/killed or elastic/peer_dead instant anywhere in the trace".into(),
+        );
+        return;
+    };
+    let ms = |t: u64| t.saturating_sub(first_death) as f64 / 1e6;
+    let mut recovered = 0usize;
+    for (rank, v) in views {
+        for &t in &v.killed {
+            println!("  rank {rank}: killed           +{:9.3} ms", ms(t));
+        }
+        let Some(&(rdv0, rdv1)) = v.rerendezvous.iter().min_by_key(|s| s.0) else {
+            // A rank that saw a peer die but never re-formed the world
+            // hung or bailed — unless it was itself the casualty.
+            if v.killed.is_empty() && !v.peer_dead.is_empty() {
+                failures.push(format!(
+                    "recovery: rank {rank} detected a dead peer but never re-rendezvoused"
+                ));
+            }
+            continue;
+        };
+        recovered += 1;
+        let detect = v.peer_dead.iter().copied().min();
+        if let Some(d) = detect {
+            println!("  rank {rank}: peer death seen  +{:9.3} ms", ms(d));
+        } else {
+            failures.push(format!(
+                "recovery: rank {rank} re-rendezvoused without an elastic/peer_dead instant"
+            ));
+        }
+        println!(
+            "  rank {rank}: re-rendezvous    +{:9.3} ms → +{:9.3} ms  ({:.3} ms)",
+            ms(rdv0),
+            ms(rdv1),
+            rdv1.saturating_sub(rdv0) as f64 / 1e6
+        );
+        if detect.is_some_and(|d| d > rdv0) {
+            failures.push(format!(
+                "recovery: rank {rank} re-rendezvous began before its peer-death detection"
+            ));
+        }
+        match v.first_sync.iter().copied().find(|&t| t >= rdv1) {
+            Some(t) => println!("  rank {rank}: first sync       +{:9.3} ms", ms(t)),
+            None => failures.push(format!(
+                "recovery: rank {rank} has no elastic/first_sync after its re-rendezvous — \
+                 the world re-formed but never completed a collective"
+            )),
+        }
+    }
+    if recovered == 0 {
+        failures.push("recovery: a death was recorded but no rank re-rendezvoused".into());
+    } else {
+        println!("  {recovered} rank(s) re-formed the world");
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
+    let recovery = cli.has("recovery");
     let Some(dir) = cli.get("dir") else {
-        eprintln!("usage: trace_report --dir <trace-dir> [--out merged.json]");
+        eprintln!("usage: trace_report --dir <trace-dir> [--out merged.json] [--recovery]");
         std::process::exit(2);
     };
     let dir = std::path::PathBuf::from(dir);
@@ -176,7 +268,8 @@ fn main() {
         data.metrics.len()
     );
 
-    for (rank, view) in rank_views(&data) {
+    let views = rank_views(&data);
+    for (rank, view) in &views {
         println!("rank {rank}:");
         // Wire-byte / message audit, per plane the runtime declared.
         for plane in ["world", "intra", "inter"] {
@@ -261,10 +354,21 @@ fn main() {
             "flow pairing: {extra_sends} send-side and {extra_recvs} recv-side flow events \
              have no partner"
         );
-        println!("{msg}");
-        failures.push(msg);
+        if recovery {
+            // A killed rank strands in-flight flows by design; pairing is
+            // informational here, not a gate.
+            println!("warning: {msg} (expected when a rank was killed)");
+        } else {
+            println!("{msg}");
+            failures.push(msg);
+        }
     } else {
         println!("flow pairing: all transport flow ids balance  ok");
+    }
+
+    if recovery {
+        println!();
+        audit_recovery(&views, &mut failures);
     }
 
     if !data.metrics.is_empty() {

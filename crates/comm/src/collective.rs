@@ -270,6 +270,26 @@ impl CommHandle {
         self.max_inflight
     }
 
+    /// Post-failure membership census (see
+    /// [`Transport::classify_survivors`]): after a `try_*` collective
+    /// returned a [`TransportError`], classifies every rank of this
+    /// communicator as alive or dead. `None` when the backend has no
+    /// membership protocol. After a `Some` return this handle is spent —
+    /// survivors rebuild through a fresh rendezvous (`a2sgd-elastic`).
+    pub fn classify_survivors(&mut self) -> Option<Vec<bool>> {
+        self.transport.classify_survivors()
+    }
+
+    /// Raw access to the underlying transport for out-of-band control
+    /// traffic (heartbeats, membership probes). Callers must stay inside
+    /// the reserved [`ELASTIC_TAG`](crate::ELASTIC_TAG) namespace — those
+    /// frames are invisible to collective tag matching and excluded from
+    /// `tag_space` accounting, so they can never desynchronize an ongoing
+    /// collective. Bytes moved here bypass this handle's [`TrafficStats`].
+    pub fn transport_mut(&mut self) -> &mut dyn Transport {
+        self.transport.as_mut()
+    }
+
     /// Force-sets the local clock — the hierarchical choreography's
     /// hand-off between a world communicator and its sub-communicators
     /// (each sub-communicator accumulates time independently; the caller
@@ -380,14 +400,6 @@ impl CommHandle {
         self.inflight -= 1;
     }
 
-    /// Sends on the blocking collective paths, where a dead peer is not
-    /// survivable: the typed transport error becomes a diagnosable panic.
-    /// The nonblocking handles use [`Self::try_send_payload`] instead and
-    /// propagate the error.
-    pub(crate) fn send_payload(&mut self, to: usize, tag: u64, payload: PayloadRef<'_>) {
-        self.try_send_payload(to, tag, payload).unwrap_or_else(|e| panic!("collective send: {e}"));
-    }
-
     pub(crate) fn try_send_payload(
         &mut self,
         to: usize,
@@ -398,12 +410,6 @@ impl CommHandle {
         self.stats.wire_bytes += self.transport.send_bytes(to, tag, payload)?;
         self.stats.messages += 1;
         Ok(())
-    }
-
-    /// Blocking-path receive: peer loss panics with the typed cause (the
-    /// nonblocking handles propagate it as a `Result` instead).
-    pub(crate) fn recv_payload(&mut self, from: usize, tag: u64) -> Payload {
-        self.transport.recv_bytes(from, tag).unwrap_or_else(|e| panic!("collective recv: {e}"))
     }
 
     pub(crate) fn try_recv_payload(
@@ -422,12 +428,21 @@ impl CommHandle {
         self.transport.recv_bytes(from, tag)
     }
 
-    fn send_elems<T: WireElem>(&mut self, to: usize, tag: u64, data: &[T]) {
-        self.send_payload(to, tag, T::payload_ref(data));
+    fn try_send_elems<T: WireElem>(
+        &mut self,
+        to: usize,
+        tag: u64,
+        data: &[T],
+    ) -> Result<(), TransportError> {
+        self.try_send_payload(to, tag, T::payload_ref(data))
     }
 
-    fn recv_elems<T: WireElem>(&mut self, from: usize, tag: u64) -> Vec<T> {
-        T::from_payload(self.recv_payload(from, tag))
+    fn try_recv_elems<T: WireElem>(
+        &mut self,
+        from: usize,
+        tag: u64,
+    ) -> Result<Vec<T>, TransportError> {
+        Ok(T::from_payload(self.blocking_recv_payload(from, tag)?))
     }
 
     pub(crate) fn next_tag(&mut self) -> u64 {
@@ -492,15 +507,29 @@ impl CommHandle {
     }
 
     // -- public collectives -------------------------------------------------
+    //
+    // Every blocking collective comes in two spellings: a `try_*` form
+    // returning `Result<_, TransportError>` — the elastic layer's entry
+    // point, where a dead peer is a recoverable value — and the classic
+    // panicking form wrapping it, preserving the original SPMD contract
+    // for callers with no recovery policy. On `Err` the collective is
+    // abandoned mid-algorithm: no completion span is traced, no clock
+    // close-out runs, and the communicator must be considered spent
+    // (survivors re-rendezvous; see `a2sgd-elastic`).
 
     /// Full synchronization barrier (modeled latency on simulated
     /// backends, a real dissemination rendezvous on TCP). Barrier control
     /// frames carry no payload but do hit the wire, so they count toward
     /// `messages`/`wire_bytes` (never `bytes_sent`/`logical_wire_bits`).
     pub fn barrier(&mut self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("collective barrier: {e}"));
+    }
+
+    /// [`Self::barrier`] with peer loss as a typed value.
+    pub fn try_barrier(&mut self) -> Result<(), TransportError> {
         let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
-        let (frames, wire_bytes) = self.transport.barrier();
+        let (frames, wire_bytes) = self.transport.barrier()?;
         self.stats.messages += frames;
         self.stats.wire_bytes += wire_bytes;
         self.finish_op(t0, 0.0, |m, _, p| m.barrier(p));
@@ -511,28 +540,38 @@ impl CommHandle {
                 a2sgd_trace::Args::Collective { op: "barrier", plane: self.plane, bytes: 0 },
             );
         }
+        Ok(())
     }
 
     /// In-place allreduce over any [`Reducible`] element with algorithm
     /// selection. The logical wire size is the typed payload itself —
     /// `8 · BYTES · len` bits, counted once per collective.
     pub fn allreduce_with<T: Reducible>(&mut self, data: &mut [T], algo: CollectiveAlgo) {
+        self.try_allreduce_with(data, algo).unwrap_or_else(|e| panic!("collective allreduce: {e}"));
+    }
+
+    /// [`Self::allreduce_with`] with peer loss as a typed value.
+    pub fn try_allreduce_with<T: Reducible>(
+        &mut self,
+        data: &mut [T],
+        algo: CollectiveAlgo,
+    ) -> Result<(), TransportError> {
         let payload_bytes = (T::BYTES * data.len()) as f64;
         self.stats.logical_wire_bits += 8 * (T::BYTES * data.len()) as u64;
         let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         if self.world() > 1 {
             match algo {
-                CollectiveAlgo::Ring => self.ring_allreduce(data),
-                CollectiveAlgo::RecursiveDoubling => self.rd_allreduce(data),
+                CollectiveAlgo::Ring => self.try_ring_allreduce(data)?,
+                CollectiveAlgo::RecursiveDoubling => self.try_rd_allreduce(data)?,
                 CollectiveAlgo::Auto => {
                     let m = self.selection_model();
                     if m.ring_allreduce(payload_bytes, self.world())
                         <= m.recursive_doubling_allreduce(payload_bytes, self.world())
                     {
-                        self.ring_allreduce(data)
+                        self.try_ring_allreduce(data)?
                     } else {
-                        self.rd_allreduce(data)
+                        self.try_rd_allreduce(data)?
                     }
                 }
             }
@@ -553,6 +592,7 @@ impl CommHandle {
                 },
             );
         }
+        Ok(())
     }
 
     /// In-place f32 allreduce-sum with algorithm selection.
@@ -574,10 +614,32 @@ impl CommHandle {
         }
     }
 
+    /// [`Self::allreduce_avg`] with peer loss as a typed value.
+    pub fn try_allreduce_avg(&mut self, data: &mut [f32]) -> Result<(), TransportError> {
+        self.try_allreduce_with(data, CollectiveAlgo::Auto)?;
+        let inv = 1.0 / self.world() as f32;
+        for v in data.iter_mut() {
+            *v *= inv;
+        }
+        Ok(())
+    }
+
     /// Ring allgather of a variable-length typed contribution. Returns all
     /// contributions indexed by rank.
     pub fn allgather<T: WireElem>(&mut self, data: &[T]) -> Vec<Vec<T>> {
-        self.allgather_bytes(T::to_payload(data)).into_iter().map(T::from_payload).collect()
+        self.try_allgather(data).unwrap_or_else(|e| panic!("collective allgather: {e}"))
+    }
+
+    /// [`Self::allgather`] with peer loss as a typed value.
+    pub fn try_allgather<T: WireElem>(
+        &mut self,
+        data: &[T],
+    ) -> Result<Vec<Vec<T>>, TransportError> {
+        Ok(self
+            .try_allgather_bytes(T::to_payload(data))?
+            .into_iter()
+            .map(T::from_payload)
+            .collect())
     }
 
     /// Ring allgather of one opaque encoded frame per rank — the exchange
@@ -587,6 +649,14 @@ impl CommHandle {
     /// counted once; forwarding hops show up only in
     /// `bytes_sent`/`wire_bytes`.
     pub fn allgather_bytes(&mut self, payload: Payload) -> Vec<Payload> {
+        self.try_allgather_bytes(payload).unwrap_or_else(|e| panic!("collective allgather: {e}"))
+    }
+
+    /// [`Self::allgather_bytes`] with peer loss as a typed value.
+    pub fn try_allgather_bytes(
+        &mut self,
+        payload: Payload,
+    ) -> Result<Vec<Payload>, TransportError> {
         let world = self.world();
         let rank = self.rank();
         let payload_bytes = payload.byte_len() as f64;
@@ -603,8 +673,12 @@ impl CommHandle {
             // (own frame first) — streamed from `out` without cloning.
             let mut fwd = rank;
             for step in 0..world - 1 {
-                self.send_payload(right, tag + step as u64, out[fwd].as_ref().unwrap().as_ref());
-                let got = self.recv_payload(left, tag + step as u64);
+                self.try_send_payload(
+                    right,
+                    tag + step as u64,
+                    out[fwd].as_ref().unwrap().as_ref(),
+                )?;
+                let got = self.blocking_recv_payload(left, tag + step as u64)?;
                 // The frame received at `step` originated at the rank
                 // `step+1` hops to the left — the ring shifts one hop per
                 // step.
@@ -625,21 +699,31 @@ impl CommHandle {
                 },
             );
         }
-        out.into_iter().map(|p| p.expect("allgather ring left a hole")).collect()
+        Ok(out.into_iter().map(|p| p.expect("allgather ring left a hole")).collect())
     }
 
     /// Pairwise frame swap: ships `payload` to `peer` and returns the
     /// frame `peer` shipped here (both sides must call symmetrically —
     /// the sendrecv building block of exchange-style algorithms).
     pub fn exchange_bytes(&mut self, peer: usize, payload: &Payload) -> Payload {
+        self.try_exchange_bytes(peer, payload)
+            .unwrap_or_else(|e| panic!("collective exchange: {e}"))
+    }
+
+    /// [`Self::exchange_bytes`] with peer loss as a typed value.
+    pub fn try_exchange_bytes(
+        &mut self,
+        peer: usize,
+        payload: &Payload,
+    ) -> Result<Payload, TransportError> {
         assert_ne!(peer, self.rank(), "exchange_bytes with self");
         let payload_bytes = payload.byte_len() as f64;
         self.stats.logical_wire_bits += payload.bits();
         let ts = a2sgd_trace::now_ns();
         let t0 = Instant::now();
         let tag = self.next_tag();
-        self.send_payload(peer, tag, payload.as_ref());
-        let got = self.recv_payload(peer, tag);
+        self.try_send_payload(peer, tag, payload.as_ref())?;
+        let got = self.blocking_recv_payload(peer, tag)?;
         // Modeled cost of one pairwise round: RD-allreduce at world 2.
         self.finish_op(t0, payload_bytes, |m, b, _| m.recursive_doubling_allreduce(b, 2));
         if a2sgd_trace::enabled() {
@@ -653,12 +737,21 @@ impl CommHandle {
                 },
             );
         }
-        got
+        Ok(got)
     }
 
     /// Binomial-tree broadcast from `root`; `data` must be sized correctly
     /// on every rank (contents are overwritten on non-roots).
     pub fn broadcast<T: WireElem>(&mut self, root: usize, data: &mut [T]) {
+        self.try_broadcast(root, data).unwrap_or_else(|e| panic!("collective broadcast: {e}"));
+    }
+
+    /// [`Self::broadcast`] with peer loss as a typed value.
+    pub fn try_broadcast<T: WireElem>(
+        &mut self,
+        root: usize,
+        data: &mut [T],
+    ) -> Result<(), TransportError> {
         let world = self.world();
         let rank = self.rank();
         let bytes = (T::BYTES * data.len()) as f64;
@@ -675,7 +768,7 @@ impl CommHandle {
             while mask < world {
                 if vr & mask != 0 {
                     let src = (vr - mask + root) % world;
-                    let got = self.recv_elems::<T>(src, tag + mask as u64);
+                    let got = self.try_recv_elems::<T>(src, tag + mask as u64)?;
                     data.copy_from_slice(&got);
                     break;
                 }
@@ -696,7 +789,7 @@ impl CommHandle {
                 let dst_vr = vr + smask;
                 if dst_vr < world {
                     let dst = (dst_vr + root) % world;
-                    self.send_elems(dst, tag + smask as u64, data);
+                    self.try_send_elems(dst, tag + smask as u64, data)?;
                 }
                 if smask == 1 {
                     break;
@@ -716,6 +809,7 @@ impl CommHandle {
                 },
             );
         }
+        Ok(())
     }
 
     // -- allreduce algorithm implementations --------------------------------
@@ -728,7 +822,7 @@ impl CommHandle {
         (lo, hi)
     }
 
-    fn ring_allreduce<T: Reducible>(&mut self, data: &mut [T]) {
+    fn try_ring_allreduce<T: Reducible>(&mut self, data: &mut [T]) -> Result<(), TransportError> {
         let world = self.world();
         let rank = self.rank();
         let n = data.len();
@@ -741,8 +835,8 @@ impl CommHandle {
             let send_c = (rank + world - step) % world;
             let recv_c = (rank + world - step - 1) % world;
             let (slo, shi) = Self::chunk_bounds(n, world, send_c);
-            self.send_elems(right, tag + step as u64, &data[slo..shi]);
-            let got = self.recv_elems::<T>(left, tag + step as u64);
+            self.try_send_elems(right, tag + step as u64, &data[slo..shi])?;
+            let got = self.try_recv_elems::<T>(left, tag + step as u64)?;
             let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
             debug_assert_eq!(got.len(), rhi - rlo);
             for (d, g) in data[rlo..rhi].iter_mut().zip(got) {
@@ -754,14 +848,15 @@ impl CommHandle {
             let send_c = (rank + 1 + world - step) % world;
             let recv_c = (rank + world - step) % world;
             let (slo, shi) = Self::chunk_bounds(n, world, send_c);
-            self.send_elems(right, tag + (world - 1 + step) as u64, &data[slo..shi]);
-            let got = self.recv_elems::<T>(left, tag + (world - 1 + step) as u64);
+            self.try_send_elems(right, tag + (world - 1 + step) as u64, &data[slo..shi])?;
+            let got = self.try_recv_elems::<T>(left, tag + (world - 1 + step) as u64)?;
             let (rlo, rhi) = Self::chunk_bounds(n, world, recv_c);
             data[rlo..rhi].copy_from_slice(&got);
         }
+        Ok(())
     }
 
-    fn rd_allreduce<T: Reducible>(&mut self, data: &mut [T]) {
+    fn try_rd_allreduce<T: Reducible>(&mut self, data: &mut [T]) -> Result<(), TransportError> {
         let world = self.world();
         let rank = self.rank();
         let tag = self.next_tag();
@@ -775,10 +870,10 @@ impl CommHandle {
         // into odd ranks, which join the power-of-two core.
         let new_rank: Option<usize> = if rank < 2 * rem {
             if rank % 2 == 0 {
-                self.send_elems(rank + 1, tag, data);
+                self.try_send_elems(rank + 1, tag, data)?;
                 None
             } else {
-                let got = self.recv_elems::<T>(rank - 1, tag);
+                let got = self.try_recv_elems::<T>(rank - 1, tag)?;
                 for (d, g) in data.iter_mut().zip(got) {
                     T::reduce(d, g);
                 }
@@ -795,8 +890,8 @@ impl CommHandle {
             let mut stage = 1u64;
             while mask < pow2 {
                 let partner = to_real(nr ^ mask);
-                self.send_elems(partner, tag + stage, data);
-                let got = self.recv_elems::<T>(partner, tag + stage);
+                self.try_send_elems(partner, tag + stage, data)?;
+                let got = self.try_recv_elems::<T>(partner, tag + stage)?;
                 for (d, g) in data.iter_mut().zip(got) {
                     T::reduce(d, g);
                 }
@@ -808,12 +903,13 @@ impl CommHandle {
         // Unfold: odd partners return the result to the folded even ranks.
         if rank < 2 * rem {
             if rank % 2 == 1 {
-                self.send_elems(rank - 1, tag + 100, data);
+                self.try_send_elems(rank - 1, tag + 100, data)?;
             } else {
-                let got = self.recv_elems::<T>(rank + 1, tag + 100);
+                let got = self.try_recv_elems::<T>(rank + 1, tag + 100)?;
                 data.copy_from_slice(&got);
             }
         }
+        Ok(())
     }
 }
 

@@ -56,7 +56,14 @@
 //! tag-matched collectives ride the wire at once while the caller computes
 //! — the communication/compute-overlap substrate behind `gradcomp`'s
 //! bucketed sync sessions. Peer loss surfaces from the nonblocking family
-//! (and the raw transport receives) as a typed [`TransportError`].
+//! (and the raw transport receives) as a typed [`TransportError`], and
+//! every blocking collective has a `try_*` spelling
+//! ([`CommHandle::try_allreduce_with`], [`CommHandle::try_barrier`],
+//! [`CommHandle::try_allgather_bytes`], …) that returns it as a value
+//! instead of panicking. [`CommHandle::classify_survivors`] runs the
+//! post-failure membership census the `a2sgd-elastic` crate's
+//! shrink-and-continue recovery is built on; its control frames live in
+//! the reserved [`ELASTIC_TAG`] namespace.
 //!
 //! * [`profile::NetworkProfile`] — α (latency) and β (bandwidth) presets,
 //!   including the paper's 100 Gbps InfiniBand.
@@ -80,7 +87,7 @@ pub use hier::{run_cluster_hier_threads, HierarchicalComm};
 pub use nonblocking::{CollectiveHandle, CollectiveResult};
 pub use profile::NetworkProfile;
 pub use sim::{run_cluster, Cluster};
-pub use transport::group::tag_space;
+pub use transport::group::{tag_space, ELASTIC_TAG};
 pub use transport::{
     run_cluster_tcp, run_cluster_tcp_spec, run_cluster_tcp_threads, run_multiprocess,
     run_multiprocess_spec, tcp_child_rank, CommBackend, GroupTransport, LaunchConfig, Payload,

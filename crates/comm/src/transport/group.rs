@@ -42,6 +42,13 @@ const GROUP_BARRIER: u64 = (1 << 63) | (1 << 62);
 /// Group-internal clock-exchange tags: bit 63 + bit 61.
 const GROUP_CLOCK: u64 = (1 << 63) | (1 << 61);
 
+/// Elastic control-plane tags: bit 63 + bit 60. Heartbeats, goodbye
+/// frames and any other membership traffic the `a2sgd-elastic` crate puts
+/// on the raw transport live here — disjoint from collective payload tags
+/// (bit 63 clear), group barriers (bit 62) and clock gathers (bit 61).
+/// Group tag spaces occupy bits 40..55 and so can never reach bit 60.
+pub const ELASTIC_TAG: u64 = (1 << 63) | (1 << 60);
+
 /// Classifies a wire tag into the tag space (communicator) whose
 /// [`TrafficStats`](crate::TrafficStats) account the frame lands in, or
 /// `None` for frames that are deliberately *not* accounted — the modeled
@@ -56,6 +63,12 @@ pub fn tag_space(tag: u64) -> Option<u64> {
     }
     if tag & GROUP_CLOCK == GROUP_CLOCK {
         return None; // modeled clock rendezvous: never hits TrafficStats
+    }
+    if tag & ELASTIC_TAG == ELASTIC_TAG {
+        // Elastic membership control frames ride the raw transport below
+        // CommHandle and never hit TrafficStats — unaccounted by design,
+        // like the clock gathers, so strict span-vs-stats audits hold.
+        return None;
     }
     if tag & GROUP_BARRIER == GROUP_BARRIER {
         // Group barrier frames carry their space in bits 40..55 and are
@@ -178,16 +191,17 @@ impl Transport for GroupTransport {
         self.inner.lock().try_recv_bytes(self.members[from], tag)
     }
 
-    fn barrier(&mut self) -> (u64, u64) {
+    fn barrier(&mut self) -> Result<(u64, u64), TransportError> {
         if self.identity {
             return self.inner.lock().barrier();
         }
         let world = self.members.len();
         if world == 1 {
-            return (0, 0);
+            return Ok((0, 0));
         }
         // Dissemination barrier over group members, in the group-internal
-        // tag namespace (root barriers are world-wide: unusable here).
+        // tag namespace (root barriers are world-wide: unusable here). A
+        // dead member propagates as a typed error, not a panic.
         self.barrier_seq += 1;
         let base = GROUP_BARRIER | (self.space << 40) | (self.barrier_seq << 8);
         let mut hop = 1usize;
@@ -197,17 +211,24 @@ impl Transport for GroupTransport {
             let to = self.members[(self.sub_rank + hop) % world];
             let from = self.members[(self.sub_rank + world - hop) % world];
             let mut t = self.inner.lock();
-            wire_bytes += t
-                .send_bytes(to, base | round, PayloadRef::Bytes(&[]))
-                .unwrap_or_else(|e| panic!("group barrier send: {e}"));
+            wire_bytes += t.send_bytes(to, base | round, PayloadRef::Bytes(&[]))?;
             frames += 1;
-            let _ = t
-                .recv_bytes(from, base | round)
-                .unwrap_or_else(|e| panic!("group barrier recv: {e}"));
+            let _ = t.recv_bytes(from, base | round)?;
             hop <<= 1;
             round += 1;
         }
-        (frames, wire_bytes)
+        Ok((frames, wire_bytes))
+    }
+
+    fn classify_survivors(&mut self) -> Option<Vec<bool>> {
+        // Only the identity view (the parent's whole-world handle) can run
+        // the census — a proper subgroup doesn't own the endpoint's
+        // world-wide links and would misclassify non-members.
+        if self.identity {
+            self.inner.lock().classify_survivors()
+        } else {
+            None
+        }
     }
 
     fn clock_exchange(&mut self, clock_s: f64, payload_bytes: f64) -> Option<(f64, f64)> {
@@ -303,7 +324,7 @@ impl Transport for Detached {
         unreachable!("detached transport")
     }
 
-    fn barrier(&mut self) -> (u64, u64) {
+    fn barrier(&mut self) -> Result<(u64, u64), TransportError> {
         unreachable!("detached transport")
     }
 
@@ -369,13 +390,13 @@ mod tests {
             let j0 = s.spawn(move || {
                 let mut g =
                     GroupTransport::group(shared_endpoint(3, 0, &all0), vec![0, 2], 0, 1, true);
-                g.barrier();
+                g.barrier().unwrap();
                 g.clock_exchange(1.0, 4.0).unwrap()
             });
             let j2 = s.spawn(move || {
                 let mut g =
                     GroupTransport::group(shared_endpoint(3, 2, &all2), vec![0, 2], 1, 1, true);
-                g.barrier();
+                g.barrier().unwrap();
                 g.clock_exchange(3.0, 2.0).unwrap()
             });
             assert_eq!(j0.join().unwrap(), (3.0, 4.0));

@@ -63,6 +63,11 @@ pub struct InProcShared {
     barrier: SenseBarrier,
     /// Per-rank (clock, payload-bytes) deposit slots for clock syncing.
     slots: Vec<Mutex<(f64, f64)>>,
+    /// Per-rank departure flags: set when a rank's endpoint is dropped, so
+    /// survivors blocked on its traffic get [`TransportError::PeerClosed`]
+    /// instead of waiting forever — the shared-memory analogue of a TCP
+    /// EOF.
+    departed: Vec<AtomicBool>,
     /// Distinguishes concurrent mailbox worlds in trace flow ids: the
     /// mixed-backend hierarchy runs one in-process world per group, whose
     /// `(from, to, tag)` triples would otherwise collide in a merged trace.
@@ -78,6 +83,7 @@ impl InProcShared {
             mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
             barrier: SenseBarrier::new(world),
             slots: (0..world).map(|_| Mutex::new((0.0, 0.0))).collect(),
+            departed: (0..world).map(|_| AtomicBool::new(false)).collect(),
             trace_salt: NEXT_TRACE_SALT.fetch_add(1, Ordering::Relaxed),
         })
     }
@@ -100,6 +106,30 @@ pub struct InProc {
 impl InProc {
     fn flow(&self, from: usize, to: usize, tag: u64) -> u64 {
         a2sgd_trace::flow_id(((from as u64) << 32) | to as u64, tag, self.shared.trace_salt)
+    }
+
+    /// Frames already mailed before the sender departed stay receivable;
+    /// only a *missing* frame from a departed rank is an error.
+    fn peer_departed(&self, from: usize, tag: u64) -> Option<TransportError> {
+        self.shared.departed[from].load(Ordering::Acquire).then(|| TransportError::PeerClosed {
+            rank: self.rank,
+            peer: from,
+            tag: Some(tag),
+            cause: "endpoint dropped".into(),
+        })
+    }
+}
+
+impl Drop for InProc {
+    fn drop(&mut self) {
+        self.shared.departed[self.rank].store(true, Ordering::Release);
+        // Wake every blocked receiver so it can re-check departure flags.
+        // Lock-then-notify: a receiver between its flag check and its
+        // cv.wait holds the queue lock, so the notify can't slip past it.
+        for mb in &self.shared.mailboxes {
+            let _q = mb.q.lock();
+            mb.cv.notify_all();
+        }
     }
 }
 
@@ -167,6 +197,9 @@ impl Transport for InProc {
                 }
                 return Ok(data);
             }
+            if let Some(e) = self.peer_departed(from, tag) {
+                return Err(e);
+            }
             mb.cv.wait(&mut q);
         }
     }
@@ -183,6 +216,11 @@ impl Transport for InProc {
             .position(|m| m.tag == tag && m.from == from)
             .map(|pos| q.swap_remove(pos).data);
         drop(q);
+        if got.is_none() {
+            if let Some(e) = self.peer_departed(from, tag) {
+                return Err(e);
+            }
+        }
         if let Some(data) = &got {
             if a2sgd_trace::enabled() {
                 a2sgd_trace::closed_span_flow(
@@ -202,14 +240,14 @@ impl Transport for InProc {
         Ok(got)
     }
 
-    fn barrier(&mut self) -> (u64, u64) {
+    fn barrier(&mut self) -> Result<(u64, u64), TransportError> {
         self.shared.barrier.wait(&mut self.local_sense);
-        (0, 0) // shared-memory rendezvous: nothing on any wire
+        Ok((0, 0)) // shared-memory rendezvous: nothing on any wire
     }
 
     fn clock_exchange(&mut self, clock_s: f64, payload_bytes: f64) -> Option<(f64, f64)> {
         *self.shared.slots[self.rank].lock() = (clock_s, payload_bytes);
-        self.barrier();
+        let _ = self.barrier(); // shared-memory barrier is infallible
         let mut maxc = f64::NEG_INFINITY;
         let mut maxb = 0.0f64;
         for s in &self.shared.slots {
@@ -219,8 +257,19 @@ impl Transport for InProc {
         }
         // Second barrier: nobody may overwrite a slot (next exchange) until
         // every rank has read all of them.
-        self.barrier();
+        let _ = self.barrier();
         Some((maxc, maxb))
+    }
+
+    fn classify_survivors(&mut self) -> Option<Vec<bool>> {
+        // Departure flags are the census: a dropped endpoint *is* a dead
+        // rank in the shared-memory world. No goodbye protocol is needed —
+        // the flag store is release-ordered against the drop.
+        Some(
+            (0..self.shared.world)
+                .map(|r| r == self.rank || !self.shared.departed[r].load(Ordering::Acquire))
+                .collect(),
+        )
     }
 }
 
@@ -263,6 +312,57 @@ mod tests {
         let got = e0.try_recv_bytes(1, 9).unwrap().expect("frame arrived");
         assert_eq!(got.expect_bytes(), vec![3]);
         assert!(e0.try_recv_bytes(1, 9).unwrap().is_none(), "frame consumed");
+    }
+
+    #[test]
+    fn dropped_endpoint_is_a_typed_error() {
+        // The in-proc mirror of TCP's `dead_peer_is_a_typed_error`: a
+        // receive posted against a dropped mailbox must be PeerClosed,
+        // not a hang — for both the blocking and the polling receive.
+        let shared = InProcShared::new(2);
+        let mut e0 = shared.endpoint(0);
+        drop(shared.endpoint(1));
+        match e0.recv_bytes(1, 42) {
+            Err(TransportError::PeerClosed { rank, peer, tag, .. }) => {
+                assert_eq!((rank, peer, tag), (0, 1, Some(42)));
+            }
+            other => panic!("expected PeerClosed, got {other:?}"),
+        }
+        assert!(matches!(e0.try_recv_bytes(1, 42), Err(TransportError::PeerClosed { .. })));
+    }
+
+    #[test]
+    fn frames_sent_before_drop_stay_receivable() {
+        let shared = InProcShared::new(2);
+        let mut e0 = shared.endpoint(0);
+        let mut e1 = shared.endpoint(1);
+        e1.send_bytes(0, 5, Payload::Bytes(vec![1, 2]).as_ref()).unwrap();
+        drop(e1);
+        // The mailed frame outlives its sender; only the *next* one errs.
+        assert_eq!(e0.recv_bytes(1, 5).unwrap().expect_bytes(), vec![1, 2]);
+        assert!(matches!(e0.recv_bytes(1, 5), Err(TransportError::PeerClosed { .. })));
+    }
+
+    #[test]
+    fn blocked_receiver_is_woken_by_peer_drop() {
+        let shared = InProcShared::new(2);
+        let mut e0 = shared.endpoint(0);
+        let e1 = shared.endpoint(1);
+        std::thread::scope(|s| {
+            let j = s.spawn(move || e0.recv_bytes(1, 9));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(e1);
+            assert!(matches!(j.join().unwrap(), Err(TransportError::PeerClosed { .. })));
+        });
+    }
+
+    #[test]
+    fn classify_survivors_reports_departed_ranks() {
+        let shared = InProcShared::new(3);
+        let mut e0 = shared.endpoint(0);
+        let _e1 = shared.endpoint(1);
+        drop(shared.endpoint(2));
+        assert_eq!(e0.classify_survivors(), Some(vec![true, true, false]));
     }
 
     #[test]

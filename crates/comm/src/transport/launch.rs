@@ -68,9 +68,24 @@ impl LaunchConfig {
     }
 
     /// Reads [`Self::resolve`]'s inputs from the process environment.
+    ///
+    /// Warns once (stderr) when only the deprecated
+    /// `A2SGD_LAUNCH_TIMEOUT_SECS` spelling is set — it still works, but
+    /// new configs should say `A2SGD_CHILD_DEADLINE_SECS` (or pass a
+    /// [`LaunchConfig`] / [`WorldSpec`] directly).
     pub fn from_env() -> Self {
         let var = |k: &str| std::env::var(k).ok();
-        Self::resolve(var(ENV_CHILD_DEADLINE).as_deref(), var(ENV_LAUNCH_TIMEOUT).as_deref())
+        let (deadline, timeout) = (var(ENV_CHILD_DEADLINE), var(ENV_LAUNCH_TIMEOUT));
+        if timeout.is_some() && deadline.is_none() {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {ENV_LAUNCH_TIMEOUT} is deprecated; set {ENV_CHILD_DEADLINE} \
+                     instead (or pass a LaunchConfig / WorldSpec to the launcher)"
+                );
+            });
+        }
+        Self::resolve(deadline.as_deref(), timeout.as_deref())
     }
 }
 
@@ -103,7 +118,9 @@ fn result_path(dir: &std::path::Path, rank: usize) -> PathBuf {
 /// The deadline (default 120 s; see [`LaunchConfig::resolve`] for the env
 /// precedence) turns a hung rendezvous or deadlocked collective into a
 /// loud failure instead of a stalled CI job: all children are killed and
-/// the parent panics.
+/// the parent panics. A child that exits nonzero short-circuits the wait
+/// the same way — its siblings are killed immediately rather than idling
+/// out the full deadline inside collectives that can no longer complete.
 pub fn run_multiprocess_spec<C>(spec: &WorldSpec, child_args: &[&str], child: C) -> Vec<Vec<f32>>
 where
     C: FnOnce(usize) -> Vec<f32>,
@@ -153,6 +170,23 @@ where
             if statuses[rank].is_none() {
                 statuses[rank] = c.try_wait().unwrap_or_else(|e| panic!("wait rank {rank}: {e}"));
             }
+        }
+        // Fast-fail: the moment one rank dies nonzero, its siblings are
+        // stuck in collectives that will never complete — kill them now
+        // instead of letting the run idle out the full deadline.
+        let failed = statuses.iter().enumerate().find_map(|(r, s)| match s {
+            Some(st) if !st.success() => Some((r, *st)),
+            _ => None,
+        });
+        if let Some((rank, status)) = failed {
+            let survivors: Vec<usize> =
+                statuses.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(r, _)| r).collect();
+            for c in &mut children {
+                let _ = c.kill();
+                let _ = c.wait(); // reap — no zombies while the binary lives on
+            }
+            let _ = std::fs::remove_dir_all(&out_dir);
+            panic!("TCP child rank {rank} failed: {status} (killed sibling ranks {survivors:?})");
         }
         if Instant::now() >= deadline && statuses.iter().any(|s| s.is_none()) {
             for c in &mut children {

@@ -73,7 +73,9 @@ pub(crate) fn recv_span_name(kind: PayloadKind) -> &'static str {
 /// `try_recv_bytes` and the nonblocking collective `wait()`/`try_complete()`
 /// return this, naming the rank, the peer, the awaited tag and the
 /// underlying cause (clean EOF vs reset vs protocol desync) so a failed
-/// step is diagnosable. Restart/shrink policies on top remain future work.
+/// step is diagnosable. Restart/shrink policies on top live in the
+/// `a2sgd-elastic` crate, which turns these values into membership
+/// decisions, re-rendezvous and shrink-and-continue training.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// The link to `peer` ended (EOF, reset or stream desync) while rank
@@ -165,7 +167,24 @@ pub trait Transport: Send {
     /// `(frames, wire_bytes)` this rank's barrier traffic put on the wire
     /// — `(0, 0)` for shared-memory rendezvous, the empty control frames
     /// for real networks — so callers can keep traffic accounting honest.
-    fn barrier(&mut self) -> (u64, u64);
+    /// A dead peer surfaces as [`TransportError::PeerClosed`], not a hang
+    /// or a panic, so elastic callers can shrink instead of dying.
+    fn barrier(&mut self) -> Result<(u64, u64), TransportError>;
+
+    /// Cooperative post-failure membership census. A survivor that hit a
+    /// [`TransportError`] mid-collective calls this once: the transport
+    /// announces its own departure-free liveness to every peer (goodbye
+    /// control frames on real networks), stops initiating new traffic,
+    /// drains each link, and classifies every rank as alive (a goodbye
+    /// arrived — the peer reached its own census) or dead (the link ended
+    /// without one). Returns `alive[r]` per rank, always `true` for the
+    /// caller itself, or `None` when the backend has no membership
+    /// protocol (the default). After a `Some` return the endpoint is
+    /// spent: survivors re-rendezvous through a fresh world instead of
+    /// reusing it.
+    fn classify_survivors(&mut self) -> Option<Vec<bool>> {
+        None
+    }
 
     /// Simulated-clock rendezvous for modeled-time backends: every rank
     /// deposits its `(clock, payload_bytes)` pair and receives the

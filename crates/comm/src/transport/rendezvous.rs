@@ -78,6 +78,48 @@ impl WorldSpec {
         self.ranks.iter().map(|r| r.group).max().map_or(0, |g| g + 1)
     }
 
+    /// The shrunken world left after removing dead ranks: survivors keep
+    /// their bind hosts and are renumbered densely in old-rank order, and
+    /// group ids are re-densified (surviving distinct ids, ascending).
+    /// Every survivor computes this from the same `alive` census, so all
+    /// of them derive the identical spec without any extra exchange — the
+    /// re-rendezvous bootstrap of shrink-and-continue recovery.
+    pub fn shrink(&self, alive: &[bool]) -> WorldSpec {
+        assert_eq!(alive.len(), self.world(), "census size must match the world");
+        let survivors: Vec<usize> = (0..self.world()).filter(|&r| alive[r]).collect();
+        assert!(!survivors.is_empty(), "no survivors to shrink to");
+        let mut gids: Vec<usize> = survivors.iter().map(|&r| self.ranks[r].group).collect();
+        gids.sort_unstable();
+        gids.dedup();
+        WorldSpec {
+            master_addr: self.master_addr.clone(),
+            ranks: survivors
+                .iter()
+                .map(|&r| RankSpec {
+                    bind_host: self.ranks[r].bind_host.clone(),
+                    group: gids.binary_search(&self.ranks[r].group).unwrap(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The same world with the master port offset by `epoch` — a
+    /// deterministic, channel-free address for re-rendezvous generation
+    /// `epoch` (every survivor derives the same address; the old master
+    /// port may still be lingering in TIME_WAIT).
+    pub fn with_epoch(&self, epoch: u32) -> WorldSpec {
+        let (host, port) = self
+            .master_addr
+            .rsplit_once(':')
+            .unwrap_or_else(|| panic!("master_addr {:?} is not host:port", self.master_addr));
+        let port: u32 = port
+            .parse()
+            .unwrap_or_else(|e| panic!("master_addr port {port:?} is not a number: {e}"));
+        let port = port + epoch;
+        assert!(port <= u16::MAX as u32, "epoch {epoch} pushed master port past 65535");
+        WorldSpec { master_addr: format!("{host}:{port}"), ranks: self.ranks.clone() }
+    }
+
     /// The environment a child process of `rank` needs so that
     /// [`Rendezvous::from_env`] reconstructs this spec — the lowering that
     /// keeps env-launched children and spec-driven parents interoperable.
@@ -180,6 +222,31 @@ mod tests {
         assert_eq!(get("A2SGD_MASTER_ADDR").unwrap(), "10.0.0.1:29500");
         assert_eq!(get("A2SGD_BIND_HOSTS").unwrap(), ",,10.0.0.2,10.0.0.2");
         assert_eq!(get("A2SGD_GROUPS").unwrap(), "0,0,1,1");
+    }
+
+    #[test]
+    fn shrink_renumbers_ranks_and_densifies_groups() {
+        let mut spec = WorldSpec::grouped("127.0.0.1:29500", 3, 2); // groups 0,0,1,1,2,2
+        spec.ranks[4].bind_host = Some("10.0.0.9".into());
+        // Kill ranks 2 and 3 — all of group 1 dies.
+        let shrunk = spec.shrink(&[true, true, false, false, true, true]);
+        assert_eq!(shrunk.world(), 4);
+        // Old group 2 densifies to 1; survivors keep their bind hosts.
+        assert_eq!((0..4).map(|r| shrunk.group_of(r)).collect::<Vec<_>>(), [0, 0, 1, 1]);
+        assert_eq!(shrunk.groups(), 2);
+        assert_eq!(shrunk.ranks[2].bind_host.as_deref(), Some("10.0.0.9"));
+        assert_eq!(shrunk.master_addr, spec.master_addr);
+    }
+
+    #[test]
+    fn with_epoch_offsets_the_master_port_only() {
+        let spec = WorldSpec::single_host("127.0.0.1:29500", 3);
+        let e2 = spec.with_epoch(2);
+        assert_eq!(e2.master_addr, "127.0.0.1:29502");
+        assert_eq!(e2.ranks, spec.ranks);
+        // IPv6 literals keep their brackets intact.
+        let v6 = WorldSpec::single_host("[::1]:29500", 2).with_epoch(1);
+        assert_eq!(v6.master_addr, "[::1]:29501");
     }
 
     #[test]

@@ -153,6 +153,11 @@ pub struct Tcp {
 /// (the dissemination barrier); `CommHandle` never generates them.
 const INTERNAL_TAG: u64 = 1 << 63;
 
+/// Goodbye control frame: a survivor announcing an orderly census entry
+/// (see [`Transport::classify_survivors`]). Lives in the elastic tag
+/// namespace so `tag_space` keeps it out of all traffic accounting.
+const GOODBYE_TAG: u64 = crate::transport::group::ELASTIC_TAG | 1;
+
 fn rendezvous_deadline() -> Instant {
     let secs = std::env::var(ENV_RENDEZVOUS_TIMEOUT)
         .ok()
@@ -454,13 +459,13 @@ impl Transport for Tcp {
         Ok(None)
     }
 
-    fn barrier(&mut self) -> (u64, u64) {
+    fn barrier(&mut self) -> Result<(u64, u64), TransportError> {
         // Dissemination barrier: ⌈log₂ world⌉ rounds of empty frames, each
         // round doubling the hop distance. Tags live in the reserved
         // internal namespace so they never collide with collective traffic.
-        // Peer loss mid-barrier is not recoverable — the cluster cannot
-        // rendezvous without the dead rank — so it stays a (now typed and
-        // diagnosable) panic here.
+        // Peer loss mid-barrier surfaces as a typed error like any other
+        // collective failure: the world cannot rendezvous without the dead
+        // rank, but the survivors can classify, shrink and re-form.
         self.barrier_seq += 1;
         let base = INTERNAL_TAG | (self.barrier_seq << 8);
         let mut hop = 1usize;
@@ -469,20 +474,55 @@ impl Transport for Tcp {
         while hop < self.world {
             let to = (self.rank + hop) % self.world;
             let from = (self.rank + self.world - hop) % self.world;
-            wire_bytes += self
-                .send_bytes(to, base | round, PayloadRef::Bytes(&[]))
-                .unwrap_or_else(|e| panic!("barrier send: {e}"));
+            wire_bytes += self.send_bytes(to, base | round, PayloadRef::Bytes(&[]))?;
             frames += 1;
-            let _ =
-                self.recv_bytes(from, base | round).unwrap_or_else(|e| panic!("barrier recv: {e}"));
+            let _ = self.recv_bytes(from, base | round)?;
             hop <<= 1;
             round += 1;
         }
-        (frames, wire_bytes)
+        Ok((frames, wire_bytes))
     }
 
     fn clock_exchange(&mut self, _clock_s: f64, _payload_bytes: f64) -> Option<(f64, f64)> {
         None // real transport: no simulated clock, callers measure.
+    }
+
+    fn classify_survivors(&mut self) -> Option<Vec<bool>> {
+        // Census protocol, run by every survivor after a TransportError:
+        //
+        //   1. send a goodbye frame to every peer (best effort),
+        //   2. half-close the write side — after the goodbye, so TCP's
+        //      in-order delivery guarantees a peer sees goodbye-then-EOF,
+        //   3. drain every link until either a goodbye arrives (the peer
+        //      reached its own census: alive) or the link ends without one
+        //      (killed mid-run: dead).
+        //
+        // Every survivor eventually enters the census — a dead rank's EOF
+        // propagates to whoever talks to it, and survivors' half-closes
+        // unblock anyone still waiting on *them* — so all survivors drain
+        // all links and agree on the same classification.
+        let mut alive = vec![false; self.world];
+        alive[self.rank] = true;
+        for p in self.peers.iter_mut().flatten() {
+            let _ = wire::write_frame(&mut p.writer, GOODBYE_TAG, PayloadRef::Bytes(&[]))
+                .and_then(|_| p.writer.flush());
+            let _ = p.writer.get_ref().shutdown(Shutdown::Write);
+        }
+        for (r, p) in self.peers.iter().enumerate() {
+            let Some(p) = p else { continue };
+            let mut st = p.inbox.state.lock();
+            loop {
+                if st.frames.iter().any(|(t, _)| *t == GOODBYE_TAG) {
+                    alive[r] = true;
+                    break;
+                }
+                if st.closed.is_some() {
+                    break; // EOF without a goodbye: the peer died
+                }
+                p.inbox.cv.wait(&mut st);
+            }
+        }
+        Some(alive)
     }
 }
 
@@ -529,7 +569,7 @@ mod tests {
                 let wire_bytes =
                     t.send_bytes(1, 44, Payload::Bytes(vec![7, 8, 9]).as_ref()).unwrap();
                 assert_eq!(wire_bytes, wire::frame_wire_bytes(3));
-                t.barrier();
+                t.barrier().unwrap();
                 t.recv_bytes(1, 43).unwrap().expect_u64()
             });
             let j1 = s.spawn(move || {
@@ -537,7 +577,7 @@ mod tests {
                 let got = t.recv_bytes(0, 42).unwrap().expect_f32();
                 assert_eq!(got, vec![1.0, 2.0]);
                 assert_eq!(t.recv_bytes(0, 44).unwrap().expect_bytes(), vec![7, 8, 9]);
-                t.barrier();
+                t.barrier().unwrap();
                 t.send_bytes(0, 43, Payload::PackedU64(vec![3]).as_ref()).unwrap();
                 got
             });
@@ -600,6 +640,37 @@ mod tests {
             });
             j1.join().unwrap();
             j0.join().unwrap();
+        });
+    }
+
+    /// The census protocol: after rank 2 dies abruptly (drop without
+    /// goodbye), both survivors classify the world identically — goodbye
+    /// frames mark each other alive, the goodbye-less EOF marks 2 dead.
+    #[test]
+    fn survivors_classify_a_dead_rank_consistently() {
+        let master = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr0 = master.local_addr().unwrap().to_string();
+        let addr1 = addr0.clone();
+        std::thread::scope(|s| {
+            let j0 = s.spawn(move || {
+                let mut t =
+                    Tcp::connect_parts(0, 3, MasterEndpoint::Listener(master), None).unwrap();
+                t.recv_bytes(2, 1).unwrap_err(); // observe the death
+                t.classify_survivors()
+            });
+            let j1 = s.spawn(move || {
+                let mut t = Tcp::connect_parts(1, 3, MasterEndpoint::Addr(addr0), None).unwrap();
+                t.recv_bytes(2, 1).unwrap_err();
+                t.classify_survivors()
+            });
+            let j2 = s.spawn(move || {
+                let t = Tcp::connect_parts(2, 3, MasterEndpoint::Addr(addr1), None).unwrap();
+                drop(t); // abrupt death: EOF on every link, no goodbye
+            });
+            j2.join().unwrap();
+            let expect = Some(vec![true, true, false]);
+            assert_eq!(j0.join().unwrap(), expect);
+            assert_eq!(j1.join().unwrap(), expect);
         });
     }
 }

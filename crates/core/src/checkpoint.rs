@@ -1,0 +1,213 @@
+//! Checkpoint/resume: the worker-local training state that shrink-and-
+//! continue recovery and cold restarts both rehydrate from.
+//!
+//! A [`Checkpoint`] captures everything `run_worker`'s loop consumes —
+//! model parameters (flattened in `visit_params` order), the optimizer's
+//! momentum velocity lanes, the master seed and the global step counter —
+//! with the same hand-rolled little-endian codec discipline as the wire
+//! layer ([`cluster_comm::transport::wire`]): no serde, explicit lengths,
+//! a magic header and a version byte so stale files fail loudly instead
+//! of deserializing garbage. Encoding is bit-exact: `decode(encode(c))`
+//! reproduces every f32 bit pattern, which is what makes resume-parity
+//! tests meaningful.
+//!
+//! The trainer writes checkpoints when [`crate::TrainConfig`]'s
+//! `checkpoint_every` is set and the `A2SGD_CKPT_DIR` environment variable
+//! names a directory (rank 0 only — state is bit-identical across ranks
+//! after each synchronized step, so one copy is the consistent global
+//! snapshot). The `a2sgd-elastic` crate reads them back for restart
+//! catch-up.
+
+use std::path::Path;
+
+/// Environment variable naming the checkpoint output directory.
+pub const ENV_CKPT_DIR: &str = "A2SGD_CKPT_DIR";
+
+const MAGIC: &[u8; 8] = b"A2SGDCK\x01";
+
+/// One consistent snapshot of worker-local training state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Global iteration count at capture (iterations fully applied).
+    pub step: u64,
+    /// The run's master seed — resume asserts it matches the config so a
+    /// checkpoint can't silently splice into a different experiment.
+    pub seed: u64,
+    /// Flat model parameters in `visit_params` order.
+    pub params: Vec<f32>,
+    /// Optimizer velocity lanes, one per parameter tensor (empty before
+    /// the first step, or for momentum-free runs).
+    pub velocity: Vec<Vec<f32>>,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
+    put_u64(out, v.len() as u64);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "checkpoint truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.u64()? as usize;
+        // Guard against a corrupt length word asking for more than exists.
+        let bytes = self.take(n.checked_mul(4).ok_or("f32 lane length overflows")?)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+}
+
+impl Checkpoint {
+    /// Serializes to the versioned little-endian byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let lanes: usize = self.velocity.iter().map(|l| l.len()).sum();
+        let mut out = Vec::with_capacity(8 + 16 + 4 * (self.params.len() + lanes) + 64);
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.step);
+        put_u64(&mut out, self.seed);
+        put_f32s(&mut out, &self.params);
+        put_u64(&mut out, self.velocity.len() as u64);
+        for lane in &self.velocity {
+            put_f32s(&mut out, lane);
+        }
+        out
+    }
+
+    /// Decodes [`Self::encode`]'s layout; errors name what was malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(format!("not a checkpoint (magic {magic:02x?})"));
+        }
+        let step = r.u64()?;
+        let seed = r.u64()?;
+        let params = r.f32s()?;
+        let lanes = r.u64()? as usize;
+        let mut velocity = Vec::with_capacity(lanes.min(1 << 20));
+        for _ in 0..lanes {
+            velocity.push(r.f32s()?);
+        }
+        if r.pos != bytes.len() {
+            return Err(format!("{} trailing bytes after checkpoint", bytes.len() - r.pos));
+        }
+        Ok(Checkpoint { step, seed, params, velocity })
+    }
+
+    /// Writes the encoding to `path` (atomically: temp file + rename, so a
+    /// crash mid-write never leaves a torn checkpoint under the real name).
+    pub fn write(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode()).map_err(|e| format!("write {tmp:?}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp:?} → {path:?}: {e}"))
+    }
+
+    /// Reads and decodes a checkpoint file.
+    pub fn read(path: &Path) -> Result<Checkpoint, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        Self::decode(&bytes)
+    }
+
+    /// The conventional file name for the snapshot at `step` inside a
+    /// checkpoint directory.
+    pub fn file_name(step: u64) -> String {
+        format!("ckpt_step_{step:08}.bin")
+    }
+
+    /// The latest checkpoint in `dir` by step number (scans for
+    /// [`Self::file_name`]-shaped entries), or `None` when there is none.
+    pub fn latest_in(dir: &Path) -> Option<(u64, std::path::PathBuf)> {
+        let mut best: Option<(u64, std::path::PathBuf)> = None;
+        for entry in std::fs::read_dir(dir).ok()? {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let step: u64 = name.strip_prefix("ckpt_step_")?.strip_suffix(".bin")?.parse().ok()?;
+            if best.as_ref().map_or(true, |(b, _)| step > *b) {
+                best = Some((step, entry.path()));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 1234,
+            seed: 0xDEAD_BEEF,
+            params: vec![1.0, -0.5, f32::MIN_POSITIVE, 3.25e-7, -0.0],
+            velocity: vec![vec![0.125, -9.0], vec![], vec![42.0]],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let c = sample();
+        let d = Checkpoint::decode(&c.encode()).unwrap();
+        assert_eq!(d.step, c.step);
+        assert_eq!(d.seed, c.seed);
+        // Compare bit patterns, not float equality — -0.0 must survive.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&d.params), bits(&c.params));
+        assert_eq!(d.velocity.len(), c.velocity.len());
+        for (a, b) in d.velocity.iter().zip(&c.velocity) {
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_fail_loudly() {
+        assert!(Checkpoint::decode(b"not a checkpoint file").is_err());
+        let mut enc = sample().encode();
+        enc.truncate(enc.len() - 3);
+        assert!(Checkpoint::decode(&enc).unwrap_err().contains("truncated"));
+        let mut enc = sample().encode();
+        enc.push(0);
+        assert!(Checkpoint::decode(&enc).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn file_round_trip_and_latest_scan() {
+        let dir = std::env::temp_dir().join(format!("a2sgd-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = sample();
+        for step in [5u64, 40, 12] {
+            let mut c = c.clone();
+            c.step = step;
+            c.write(&dir.join(Checkpoint::file_name(step))).unwrap();
+        }
+        let (step, path) = Checkpoint::latest_in(&dir).unwrap();
+        assert_eq!(step, 40);
+        assert_eq!(Checkpoint::read(&path).unwrap().step, 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

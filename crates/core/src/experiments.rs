@@ -145,6 +145,7 @@ pub fn scaled_convergence_config(
         topology: Topology::Flat,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],
+        checkpoint_every: None,
         trace: None,
     }
 }

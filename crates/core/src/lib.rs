@@ -27,6 +27,7 @@
 //! * [`report`] — CSV/table output helpers for the figure regenerators.
 
 pub mod algorithm;
+pub mod checkpoint;
 pub mod experiments;
 pub mod mean2;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod trainer;
 pub mod variants;
 
 pub use algorithm::A2sgd;
+pub use checkpoint::Checkpoint;
 pub use cluster_comm::CommBackend;
 pub use mean2::{enc_into, restore_with_global_means, split_means, TwoMeans};
 pub use overlap::{HookLayout, HookedStep};

@@ -70,6 +70,13 @@ impl Optimizer {
             Optimizer::Lars(o) => o.step(model, lr),
         }
     }
+
+    fn velocity_lanes(&self) -> &[Vec<f32>] {
+        match self {
+            Optimizer::Sgd(o) => o.velocity_lanes(),
+            Optimizer::Lars(o) => o.velocity_lanes(),
+        }
+    }
 }
 
 /// Communicator topology the gradient synchronization runs over.
@@ -162,6 +169,15 @@ pub struct TrainConfig {
     /// Iterations at which worker 0 records a gradient histogram
     /// (Figure 1); empty to disable.
     pub grad_hist_iters: Vec<usize>,
+    /// Checkpoint cadence: `Some(k)` has worker 0 snapshot the full
+    /// training state (parameters, optimizer velocity, seed, step) every
+    /// `k` iterations into the directory named by the `A2SGD_CKPT_DIR`
+    /// environment variable (see [`crate::checkpoint::Checkpoint`]); when
+    /// that variable is unset, the cadence is a no-op. `None` (the
+    /// default) never checkpoints. State is bit-identical across ranks
+    /// after each synchronized step, so the single rank-0 copy is a
+    /// consistent global snapshot.
+    pub checkpoint_every: Option<usize>,
     /// Span-trace output directory: `Some(dir)` records every rank's
     /// transport/collective/session/trainer spans into
     /// `dir/trace-<pid>.jsonl` (merge with `a2sgd_trace::merge_dir` or the
@@ -574,6 +590,32 @@ fn run_worker(
             }
             comm.advance_compute(t1.elapsed().as_secs_f64());
             iters_done += 1;
+
+            // ---- checkpoint (rank 0, off the simulated clock) ----------
+            if let Some(every) = cfg.checkpoint_every {
+                if rank == 0 && every > 0 && iters_done % every == 0 {
+                    if let Ok(dir) = std::env::var(crate::checkpoint::ENV_CKPT_DIR) {
+                        let dir = std::path::Path::new(&dir);
+                        let mut params = Vec::with_capacity(n);
+                        flatten_params(model.as_mut(), &mut params);
+                        let ckpt = crate::checkpoint::Checkpoint {
+                            step: iters_done as u64,
+                            seed: cfg.seed,
+                            params,
+                            velocity: opt.velocity_lanes().to_vec(),
+                        };
+                        let _ = std::fs::create_dir_all(dir);
+                        let path = dir.join(crate::checkpoint::Checkpoint::file_name(ckpt.step));
+                        ckpt.write(&path).unwrap_or_else(|e| panic!("checkpoint: {e}"));
+                        if a2sgd_trace::enabled() {
+                            a2sgd_trace::instant(
+                                "checkpoint/written",
+                                a2sgd_trace::Args::Value(ckpt.step as f64),
+                            );
+                        }
+                    }
+                }
+            }
         }
 
         // ---- evaluation (worker 0, off the simulated clock) -------------
@@ -752,6 +794,7 @@ mod tests {
             topology: Topology::Flat,
             profile: NetworkProfile::infiniband_100g(),
             grad_hist_iters: vec![0, 5],
+            checkpoint_every: None,
             trace: None,
         }
     }

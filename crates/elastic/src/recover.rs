@@ -1,0 +1,86 @@
+//! Shrink-and-continue recovery: census → shrunken spec → re-rendezvous.
+//!
+//! The core invariant: after a failure, every survivor runs the transport
+//! membership census ([`cluster_comm::CommHandle::classify_survivors`])
+//! and gets the **same** alive-vector — the goodbye/half-close protocol
+//! guarantees agreement without a coordinator. From that shared census
+//! each survivor *locally* derives the identical shrunken
+//! [`WorldSpec`] ([`WorldSpec::shrink`]) and its own new dense rank, so
+//! re-forming the world needs no extra agreement round: everyone just
+//! reconnects through the epoch-offset master port
+//! ([`WorldSpec::with_epoch`]) and the new rank 0 binds the rendezvous
+//! listener.
+
+use cluster_comm::{CommHandle, WorldSpec};
+
+/// A communicator bundled with the world description it can rebuild
+/// itself from. This is what elastic training holds instead of a bare
+/// [`CommHandle`].
+pub struct ElasticComm {
+    /// The live communicator for the current world generation.
+    pub comm: CommHandle,
+    /// The current world's spec, with the *base* (epoch-0) master
+    /// address; the actual connection for generation `epoch` uses
+    /// `spec.with_epoch(epoch)`.
+    pub spec: WorldSpec,
+    /// Re-rendezvous generation: 0 for the original world, +1 per
+    /// recovery.
+    pub epoch: u32,
+    /// This rank's id in the *original* (epoch-0) world — the stable
+    /// identity used for traces and fault scripts across shrinks.
+    pub orig_rank: usize,
+}
+
+impl ElasticComm {
+    /// Connects `rank` of `spec` over TCP at generation `epoch`.
+    pub fn connect(rank: usize, spec: &WorldSpec, epoch: u32) -> Result<Self, String> {
+        let comm = CommHandle::tcp_from_spec(rank, &spec.with_epoch(epoch))?;
+        Ok(ElasticComm { comm, spec: spec.clone(), epoch, orig_rank: rank })
+    }
+
+    /// This rank's id in the current world generation.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Current world size.
+    pub fn world(&self) -> usize {
+        self.comm.world()
+    }
+
+    /// After a [`cluster_comm::TransportError`]: runs the membership
+    /// census, tears down the spent endpoint, and reconnects the
+    /// survivors as a dense shrunken world one epoch up. Consumes `self`
+    /// — the old communicator is unusable either way — and returns the
+    /// next-generation handle, in which this rank may have a new (denser)
+    /// rank but keeps its `orig_rank` identity.
+    ///
+    /// The whole operation is recorded as an `elastic/rerendezvous` trace
+    /// span (census + reconnect), the timeline anchor `trace_report
+    /// --recovery` audits between `elastic/peer_dead` and
+    /// `elastic/first_sync`.
+    pub fn shrink_and_reconnect(mut self) -> Result<Self, String> {
+        let t0 = a2sgd_trace::now_ns();
+        let alive = self.comm.classify_survivors().ok_or_else(|| {
+            format!("backend {} has no membership census", self.comm.backend_name())
+        })?;
+        let old_rank = self.comm.rank();
+        assert!(alive[old_rank], "census claims the caller itself is dead");
+        let new_rank = alive[..old_rank].iter().filter(|&&a| a).count();
+        // The old endpoint is spent after the census: drop it so every
+        // socket is closed before the survivors re-rendezvous.
+        drop(self.comm);
+        let spec = self.spec.shrink(&alive);
+        let epoch = self.epoch + 1;
+        let comm = CommHandle::tcp_from_spec(new_rank, &spec.with_epoch(epoch))
+            .map_err(|e| format!("re-rendezvous epoch {epoch}: {e}"))?;
+        if a2sgd_trace::enabled() {
+            a2sgd_trace::closed_span(
+                "elastic/rerendezvous",
+                t0,
+                a2sgd_trace::Args::Value(spec.world() as f64),
+            );
+        }
+        Ok(ElasticComm { comm, spec, epoch, orig_rank: self.orig_rank })
+    }
+}

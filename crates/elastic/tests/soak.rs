@@ -1,0 +1,214 @@
+//! Elastic soak proof over real sockets.
+//!
+//! The headline test kills a rank at a seed-chosen iteration of a 4-rank
+//! loopback-TCP training run (thread ranks, real `TcpStream`s — the same
+//! data plane as the process launcher without its orchestration overhead)
+//! and demands the world re-form and *converge anyway*:
+//!
+//! * the three survivors finish all scripted iterations with exactly one
+//!   recovery, in a world of three, with bit-identical final parameters;
+//! * the final loss lands within tolerance of an uninterrupted same-seed
+//!   run that had three workers from the start;
+//! * the recovery timeline is recorded in the trace — death instant →
+//!   re-rendezvous span → first post-recovery sync — in that order,
+//!   which is what `trace_report --recovery` audits in CI.
+//!
+//! The second test proves checkpoint/resume is bit-exact: resuming a run
+//! from its midpoint snapshot reproduces the uninterrupted run's final
+//! parameters to the last mantissa bit.
+
+use a2sgd_elastic::{train_elastic, ElasticComm, ElasticTrainConfig, FaultPlan, SyncKind};
+use cluster_comm::WorldSpec;
+use std::net::TcpListener;
+
+fn free_loopback_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral probe");
+    let addr = l.local_addr().expect("probe addr").to_string();
+    drop(l);
+    addr
+}
+
+/// Spawns one thread per rank of `spec`, each connecting its own TCP
+/// endpoint and running `f(rank)`.
+fn run_world<T, F>(spec: &WorldSpec, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let world = spec.world();
+    let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for (rank, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            joins.push(s.spawn(move || *slot = Some(f(rank))));
+        }
+        for j in joins {
+            j.join().expect("rank thread panicked");
+        }
+    });
+    out.into_iter().map(|r| r.expect("rank produced no result")).collect()
+}
+
+/// Earliest trace timestamp of an event named `name` (substring-safe: the
+/// writer emits `"n":"<name>"`), across every line of every trace file in
+/// `dir`.
+fn first_ts(dir: &std::path::Path, name: &str) -> Option<u64> {
+    let needle = format!("\"n\":\"{name}\"");
+    let mut best: Option<u64> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let path = entry.ok()?.path();
+        if path.extension().map_or(true, |e| e != "jsonl") {
+            continue;
+        }
+        for line in std::fs::read_to_string(&path).ok()?.lines() {
+            if !line.contains(&needle) {
+                continue;
+            }
+            let ts = line
+                .split("\"t\":")
+                .nth(1)
+                .and_then(|r| r.split([',', '}']).next())
+                .and_then(|n| n.parse::<u64>().ok());
+            if let Some(t) = ts {
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn killing_a_rank_mid_run_shrinks_and_converges() {
+    let seed = 0xE1A5_71C0u64;
+    let cfg = ElasticTrainConfig { sync: SyncKind::Dense, ..ElasticTrainConfig::probe(seed) };
+    let victim = 2usize;
+    let kill = FaultPlan::random_kill(seed, 5, 15);
+    let kill_iter = kill.kill_at_iter.unwrap();
+
+    // CI points A2SGD_SOAK_TRACE_DIR at a kept path so `trace_report
+    // --recovery` can audit the timeline after the test; by default the
+    // trace lives (and dies) in a temp dir.
+    let (trace_dir, keep_trace) = match std::env::var("A2SGD_SOAK_TRACE_DIR") {
+        Ok(d) => (std::path::PathBuf::from(d), true),
+        Err(_) => {
+            (std::env::temp_dir().join(format!("a2sgd-soak-trace-{}", std::process::id())), false)
+        }
+    };
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    std::fs::create_dir_all(&trace_dir).unwrap();
+    a2sgd_trace::enable(&trace_dir);
+
+    let spec = WorldSpec::single_host(free_loopback_addr(), 4);
+    let reports = run_world(&spec, |rank| {
+        let ec = ElasticComm::connect(rank, &spec, 0).expect("rendezvous");
+        let plan = if rank == victim { kill.clone() } else { FaultPlan::none() };
+        train_elastic(ec, &cfg, &plan).expect("elastic run failed")
+    });
+
+    a2sgd_trace::flush_process_file().expect("trace flush");
+    a2sgd_trace::disable();
+
+    // The casualty died on schedule, before contributing iteration `kill`.
+    assert!(reports[victim].killed);
+    assert_eq!(reports[victim].steps_done, kill_iter);
+
+    // Survivors: one recovery, a world of three, every scripted step done.
+    let survivors: Vec<_> = (0..4).filter(|&r| r != victim).map(|r| &reports[r]).collect();
+    for s in &survivors {
+        assert!(!s.killed);
+        assert_eq!(s.recoveries, 1, "expected exactly one shrink-and-continue");
+        assert_eq!(s.world_at_end, 3);
+        assert_eq!(s.steps_done, cfg.iters);
+    }
+    let bits: Vec<Vec<u32>> =
+        survivors.iter().map(|s| s.final_params.iter().map(|x| x.to_bits()).collect()).collect();
+    assert_eq!(bits[0], bits[1], "survivors diverged");
+    assert_eq!(bits[0], bits[2], "survivors diverged");
+
+    // Convergence despite the death — and within tolerance of a run that
+    // had three workers from the start (same seed, same step budget).
+    let ref_spec = WorldSpec::single_host(free_loopback_addr(), 3);
+    let ref_reports = run_world(&ref_spec, |rank| {
+        let ec = ElasticComm::connect(rank, &ref_spec, 0).expect("rendezvous");
+        train_elastic(ec, &cfg, &FaultPlan::none()).expect("reference run failed")
+    });
+    let start = a2sgd_elastic::train::full_loss(&cfg, &vec![0.0; cfg.dim]);
+    let (got, want) = (survivors[0].final_loss, ref_reports[0].final_loss);
+    assert!(got < 0.05 * start, "elastic run failed to converge: {got} (start {start})");
+    assert!(want < 0.05 * start, "reference run failed to converge: {want}");
+    assert!(
+        (got - want).abs() < 0.05 * start,
+        "elastic loss {got} too far from shrunken-world reference {want}"
+    );
+
+    // Recovery timeline in the trace: death → re-rendezvous → first
+    // post-recovery sync, in that order.
+    let killed = first_ts(&trace_dir, "elastic/killed").expect("no elastic/killed instant");
+    first_ts(&trace_dir, "elastic/peer_dead").expect("no elastic/peer_dead instant");
+    let rdv = first_ts(&trace_dir, "elastic/rerendezvous").expect("no rerendezvous span");
+    let sync = first_ts(&trace_dir, "elastic/first_sync").expect("no first_sync instant");
+    assert!(killed <= rdv, "re-rendezvous began before the kill ({rdv} < {killed})");
+    assert!(rdv <= sync, "first sync recorded before re-rendezvous ({sync} < {rdv})");
+
+    if !keep_trace {
+        let _ = std::fs::remove_dir_all(&trace_dir);
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical() {
+    let seed = 0xC4EC_4B07u64;
+    let ckpt_dir = std::env::temp_dir().join(format!("a2sgd-soak-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let full_cfg = ElasticTrainConfig {
+        iters: 20,
+        checkpoint_every: Some(10),
+        ckpt_dir: Some(ckpt_dir.clone()),
+        ..ElasticTrainConfig::probe(seed)
+    };
+    let spec = WorldSpec::single_host(free_loopback_addr(), 2);
+    let full = run_world(&spec, |rank| {
+        let ec = ElasticComm::connect(rank, &spec, 0).expect("rendezvous");
+        train_elastic(ec, &full_cfg, &FaultPlan::none()).expect("full run failed")
+    });
+
+    // The midpoint snapshot exists and decodes to the right step.
+    let midpoint = ckpt_dir.join(a2sgd::Checkpoint::file_name(10));
+    let c = a2sgd::Checkpoint::read(&midpoint).expect("midpoint checkpoint");
+    assert_eq!(c.step, 10);
+    assert_eq!(c.seed, seed);
+    assert_eq!(c.params.len(), full_cfg.dim);
+
+    // Resume: rank 0 loads the snapshot, the catch-up broadcast rehydrates
+    // rank 1, and the remaining ten steps replay bit-exactly.
+    let resume_cfg = ElasticTrainConfig {
+        iters: 20,
+        resume_from: Some(midpoint),
+        ..ElasticTrainConfig::probe(seed)
+    };
+    let spec2 = WorldSpec::single_host(free_loopback_addr(), 2);
+    let resumed = run_world(&spec2, |rank| {
+        let cfg = ElasticTrainConfig {
+            // Only rank 0 holds the checkpoint file (a restarted cluster's
+            // survivor); rank 1 starts cold and catches up over the wire.
+            resume_from: resume_cfg.resume_from.clone().filter(|_| rank == 0),
+            ..resume_cfg.clone()
+        };
+        let ec = ElasticComm::connect(rank, &spec2, 0).expect("rendezvous");
+        train_elastic(ec, &cfg, &FaultPlan::none()).expect("resumed run failed")
+    });
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(resumed[0].steps_done, 20);
+    assert_eq!(
+        bits(&full[0].final_params),
+        bits(&resumed[0].final_params),
+        "resume diverged from the uninterrupted run"
+    );
+    assert_eq!(bits(&resumed[0].final_params), bits(&resumed[1].final_params));
+    assert_eq!(full[0].final_loss, resumed[0].final_loss);
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}

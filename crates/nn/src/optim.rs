@@ -22,6 +22,19 @@ impl Sgd {
         Sgd { momentum, weight_decay, velocity: Vec::new() }
     }
 
+    /// The per-parameter velocity lanes — empty until the first `step`.
+    /// Checkpointing reads these so a resumed run replays the exact same
+    /// momentum trajectory.
+    pub fn velocity_lanes(&self) -> &[Vec<f32>] {
+        &self.velocity
+    }
+
+    /// Restores velocity lanes captured by [`Self::velocity_lanes`]. The
+    /// next `step` asserts each lane still matches its parameter's size.
+    pub fn set_velocity_lanes(&mut self, lanes: Vec<Vec<f32>>) {
+        self.velocity = lanes;
+    }
+
     /// Applies one update with learning rate `lr` to every parameter of
     /// `model` using the gradients currently stored in `Param::grad`.
     pub fn step(&mut self, model: &mut dyn Module, lr: f32) {
@@ -68,6 +81,16 @@ impl Lars {
     /// Creates a LARS optimizer with the given trust coefficient.
     pub fn new(momentum: f32, weight_decay: f32, trust: f32) -> Self {
         Lars { momentum, weight_decay, trust, velocity: Vec::new() }
+    }
+
+    /// The per-parameter velocity lanes — empty until the first `step`.
+    pub fn velocity_lanes(&self) -> &[Vec<f32>] {
+        &self.velocity
+    }
+
+    /// Restores velocity lanes captured by [`Self::velocity_lanes`].
+    pub fn set_velocity_lanes(&mut self, lanes: Vec<Vec<f32>>) {
+        self.velocity = lanes;
     }
 
     /// Applies one LARS update with global learning rate `lr`.
