@@ -4,7 +4,7 @@
 //! atomic temp-write + rename the trainer actually performs, so the gap
 //! between the two rows is pure filesystem tax.
 
-use a2sgd::Checkpoint;
+use a2sgd::{Checkpoint, SchedCheckpoint};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -12,7 +12,27 @@ use std::hint::black_box;
 /// the bucket-sized state a worker snapshots per checkpoint tick.
 fn sample(n: usize) -> Checkpoint {
     let lane: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
-    Checkpoint { step: 1234, seed: 0xE1A5_71C0, params: lane.clone(), velocity: vec![lane] }
+    Checkpoint {
+        step: 1234,
+        seed: 0xE1A5_71C0,
+        params: lane.clone(),
+        velocity: vec![lane],
+        sched: None,
+    }
+}
+
+/// The same snapshot cut mid-window under a sync schedule: the v2 codec
+/// carries the window phase plus a full anchor lane, so the sched row
+/// prices one extra parameter-sized copy over the baseline.
+fn sample_sched(n: usize) -> Checkpoint {
+    let mut c = sample(n);
+    c.sched = Some(SchedCheckpoint {
+        local_in_window: 3,
+        current_h: 8,
+        ref_dispersion: 0.25,
+        anchor: c.params.clone(),
+    });
+    c
 }
 
 fn bench_elastic(c: &mut Criterion) {
@@ -25,6 +45,15 @@ fn bench_elastic(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("codec", "decode_64KiB"), &(), |b, _| {
         b.iter(|| Checkpoint::decode(black_box(&encoded)).unwrap())
+    });
+
+    let ckpt_sched = sample_sched(16 * 1024);
+    let encoded_sched = ckpt_sched.encode();
+    group.bench_with_input(BenchmarkId::new("codec", "encode_64KiB_sched"), &(), |b, _| {
+        b.iter(|| black_box(ckpt_sched.encode()))
+    });
+    group.bench_with_input(BenchmarkId::new("codec", "decode_64KiB_sched"), &(), |b, _| {
+        b.iter(|| Checkpoint::decode(black_box(&encoded_sched)).unwrap())
     });
 
     let dir = std::env::temp_dir().join(format!("a2sgd_bench_elastic_{}", std::process::id()));

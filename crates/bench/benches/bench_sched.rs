@@ -1,0 +1,85 @@
+//! What a sync schedule buys in wall time, on both planes.
+//!
+//! `sched_tcp_loopback` isolates the communication claim: a 4-rank
+//! thread cluster on real loopback sockets runs 64 "optimizer steps"
+//! (a vector axpy stands in for compute) and fires the dense 64 KiB
+//! ring allreduce only every `h`-th step — `h1` is every-step SGD,
+//! `h8` local SGD with an 8-step window, so the gap between the rows
+//! is seven skipped collectives per window.
+//!
+//! `sched_train` prices the same knob end to end through the real
+//! trainer (in-proc backend, 2 workers, FNN-3 scaled): every-step vs
+//! `fixed8` vs `adaptive4`, whole-run wall time including the schedule
+//! bookkeeping, pseudo-gradient sync, and the adaptive controller's
+//! dispersion gather.
+
+use a2sgd::experiments::scaled_convergence_config;
+use a2sgd::registry::AlgoKind;
+use a2sgd::trainer::train;
+use a2sgd::SchedKind;
+use cluster_comm::{run_cluster_tcp_threads, CollectiveAlgo, CommHandle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mini_nn::models::ModelKind;
+use std::hint::black_box;
+
+const WORLD: usize = 4;
+const STEPS: usize = 64;
+
+/// `STEPS` steps of local "compute" with the collective every `h`-th step.
+fn periodic_steps(h: &mut CommHandle, period: usize, n: usize) -> f32 {
+    let mut w = vec![1.0f32; n];
+    for step in 0..STEPS {
+        // Stand-in local step: cheap, but not free, so the sync cost is
+        // measured against a non-empty compute phase.
+        for v in w.iter_mut() {
+            *v = 0.999 * *v + 1e-3;
+        }
+        if (step + 1) % period == 0 {
+            h.allreduce_sum_with(&mut w, CollectiveAlgo::Ring);
+            let inv = 1.0 / WORLD as f32;
+            for v in w.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+    w[0]
+}
+
+fn bench_sched_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_tcp_loopback");
+    group.sample_size(10);
+    let n = 16_384usize; // 64 KiB dense gradient
+    for period in [1usize, 8] {
+        let id = BenchmarkId::new("dense_64KiB", format!("h{period}"));
+        group.bench_with_input(id, &period, |b, &period| {
+            b.iter(|| run_cluster_tcp_threads(WORLD, move |h| periodic_steps(h, period, n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sched_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_train");
+    group.sample_size(10);
+    let schedules = [
+        ("every_step", SchedKind::EveryStep),
+        ("fixed8", SchedKind::Fixed(8)),
+        ("adaptive4", SchedKind::Adaptive(4)),
+    ];
+    for (name, sched) in schedules {
+        group.bench_with_input(BenchmarkId::new("a2sgd_fnn3", name), &sched, |b, &sched| {
+            b.iter(|| {
+                let mut cfg = scaled_convergence_config(ModelKind::Fnn3, AlgoKind::A2sgd, 2, 41);
+                cfg.epochs = 1;
+                cfg.train_size = 160;
+                cfg.eval_size = 80;
+                cfg.schedule = sched;
+                black_box(train(&cfg).final_metric)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched_tcp, bench_sched_train);
+criterion_main!(benches);

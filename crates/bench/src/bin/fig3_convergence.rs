@@ -21,12 +21,21 @@
 //! backward-overlapped synchronization (flat combos only; compose with
 //! `--bucket-bytes N` for multi-bucket pipelines worth looking at).
 //!
+//! `--schedule <spec>` composes a sync schedule with every combination
+//! (`every`, `fixed<H>`, `postlocal<W>+<H>`, `adaptive<H0>` — the
+//! [`a2sgd::SchedKind`] spellings); `--schedule sweep` crosses the combo
+//! list with {every, fixed4, fixed8, adaptive4}, the (period × compressor)
+//! grid. The traffic CSV then carries `syncs_per_run` and
+//! `effective_bits_per_step` so one table compares the compressors'
+//! reduction in *space* against the schedules' reduction in *time*.
+//!
 //! Run: `cargo run --release -p a2sgd-bench --bin fig3_convergence -- --workers 8 --model fnn3`
 
 use a2sgd::experiments::scaled_convergence_config;
 use a2sgd::registry::AlgoKind;
 use a2sgd::report::Table;
 use a2sgd::trainer::{train, Topology, TrainReport};
+use a2sgd::SchedKind;
 use a2sgd_bench::{results_dir, Args};
 use cluster_comm::{run_multiprocess, CommBackend};
 use mini_nn::models::ModelKind;
@@ -95,6 +104,9 @@ fn encode_report(rep: &TrainReport) -> Vec<f32> {
     push_u64(&mut out, rep.avg_compress_seconds.to_bits());
     push_u64(&mut out, rep.avg_exchange_seconds.to_bits());
     push_u64(&mut out, rep.avg_overlap_seconds.to_bits());
+    push_u64(&mut out, rep.sync_steps as u64);
+    push_u64(&mut out, rep.local_steps as u64);
+    push_u64(&mut out, rep.measured_sync_wire_bytes);
     out
 }
 
@@ -112,6 +124,9 @@ struct ComboOut {
     avg_compress_seconds: f64,
     avg_exchange_seconds: f64,
     avg_overlap_seconds: f64,
+    sync_steps: u64,
+    local_steps: u64,
+    measured_sync_wire_bytes: u64,
 }
 
 fn decode_report(lanes: &[f32]) -> ComboOut {
@@ -131,6 +146,9 @@ fn decode_report(lanes: &[f32]) -> ComboOut {
         avg_compress_seconds: f64::from_bits(take_u64(&mut it)),
         avg_exchange_seconds: f64::from_bits(take_u64(&mut it)),
         avg_overlap_seconds: f64::from_bits(take_u64(&mut it)),
+        sync_steps: take_u64(&mut it),
+        local_steps: take_u64(&mut it),
+        measured_sync_wire_bytes: take_u64(&mut it),
     }
 }
 
@@ -147,6 +165,7 @@ fn run_combo(
     model: ModelKind,
     algo: AlgoKind,
     topology: Topology,
+    schedule: SchedKind,
     workers: usize,
     tcp: bool,
     overlap: bool,
@@ -155,6 +174,7 @@ fn run_combo(
 ) -> ComboOut {
     let mut cfg = scaled_convergence_config(model, algo, workers, 17);
     cfg.topology = topology;
+    cfg.schedule = schedule;
     cfg.overlap_backward = overlap;
     cfg.bucket_bytes = bucket_bytes;
     if let Some(dir) = trace_dir {
@@ -189,6 +209,11 @@ fn run_combo(
         gs = group_size.to_string();
         child_args.extend_from_slice(&["--group-size", &gs]);
     }
+    let sl;
+    if !schedule.is_every_step() {
+        sl = schedule.label();
+        child_args.extend_from_slice(&["--schedule", &sl]);
+    }
     if overlap {
         child_args.push("--overlap");
     }
@@ -214,10 +239,15 @@ fn algo_cli_name(algo: AlgoKind) -> &'static str {
     }
 }
 
-fn combo_label(algo: AlgoKind, topology: Topology) -> String {
-    match topology {
+fn combo_label(algo: AlgoKind, topology: Topology, schedule: SchedKind) -> String {
+    let inner = match topology {
         Topology::Flat => algo.name().to_string(),
         Topology::Hier { .. } => format!("hier(dense, {})", algo.name()),
+    };
+    if schedule.is_every_step() {
+        inner
+    } else {
+        format!("sched({}, {inner})", schedule.label())
     }
 }
 
@@ -232,6 +262,22 @@ fn main() {
     };
     let trace_root = args.get("trace-out").map(std::path::PathBuf::from);
     let models = models_from(args.get("model").unwrap_or("fast"));
+    // `--schedule <spec>` composes one schedule with every combo;
+    // `sweep` crosses the combo list with the (period × compressor) grid.
+    let schedules: Vec<SchedKind> = match args.get("schedule") {
+        None => vec![SchedKind::EveryStep],
+        Some("sweep") => {
+            vec![
+                SchedKind::EveryStep,
+                SchedKind::Fixed(4),
+                SchedKind::Fixed(8),
+                SchedKind::Adaptive(4),
+            ]
+        }
+        Some(s) => {
+            vec![SchedKind::parse(s).unwrap_or_else(|| panic!("unknown --schedule {s}"))]
+        }
+    };
     // `--algo` narrows the sweep to one combination — how the TCP
     // launcher's children find their combo, and a handy manual filter.
     let only: Option<(AlgoKind, Topology)> = args.get("algo").map(|a| {
@@ -265,43 +311,49 @@ fn main() {
 
         let mut curves: Vec<(String, ComboOut)> = Vec::new();
         for (algo, topology) in sweep {
-            let label = combo_label(algo, topology);
-            // One trace directory per (model, combo): merged separately, so
-            // each timeline is one coherent run.
-            let combo_trace = trace_root.as_ref().map(|root| {
-                let slug: String = label
-                    .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-                    .collect();
-                root.join(format!("{}_{slug}", model_cli_name(model)))
-            });
-            let out = run_combo(
-                model,
-                algo,
-                topology,
-                workers,
-                tcp,
-                overlap,
-                bucket_bytes,
-                combo_trace.as_deref(),
-            );
-            eprintln!(
-                "  {label} final {metric_name} = {:.2} (wire {} bits/iter/worker \
-                 [intra {} | inter {}], measured {} B in {} frames \
-                 [framing {} B], t_compress {:.1}µs + t_exchange {:.1}µs \
-                 [overlapped {:.1}µs] /iter)",
-                out.final_metric,
-                out.wire_bits_per_iter,
-                out.intra_wire_bits_per_iter,
-                out.inter_wire_bits_per_iter,
-                out.measured_wire_bytes,
-                out.messages,
-                out.framing_bytes,
-                out.avg_compress_seconds * 1e6,
-                out.avg_exchange_seconds * 1e6,
-                out.avg_overlap_seconds * 1e6
-            );
-            curves.push((label, out));
+            for &schedule in &schedules {
+                let label = combo_label(algo, topology, schedule);
+                // One trace directory per (model, combo): merged separately, so
+                // each timeline is one coherent run.
+                let combo_trace = trace_root.as_ref().map(|root| {
+                    let slug: String = label
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                        .collect();
+                    root.join(format!("{}_{slug}", model_cli_name(model)))
+                });
+                let out = run_combo(
+                    model,
+                    algo,
+                    topology,
+                    schedule,
+                    workers,
+                    tcp,
+                    overlap,
+                    bucket_bytes,
+                    combo_trace.as_deref(),
+                );
+                eprintln!(
+                    "  {label} final {metric_name} = {:.2} (effective {} bits/step/worker \
+                 [intra {} | inter {}], {} syncs / {} iters, measured {} B \
+                 [sync-governed {} B] in {} frames [framing {} B], \
+                 t_compress {:.1}µs + t_exchange {:.1}µs [overlapped {:.1}µs] /iter)",
+                    out.final_metric,
+                    out.wire_bits_per_iter,
+                    out.intra_wire_bits_per_iter,
+                    out.inter_wire_bits_per_iter,
+                    out.sync_steps,
+                    out.iters,
+                    out.measured_wire_bytes,
+                    out.measured_sync_wire_bytes,
+                    out.messages,
+                    out.framing_bytes,
+                    out.avg_compress_seconds * 1e6,
+                    out.avg_exchange_seconds * 1e6,
+                    out.avg_overlap_seconds * 1e6
+                );
+                curves.push((label, out));
+            }
         }
 
         let suffix = model.name().to_lowercase().replace('-', "");
@@ -328,13 +380,16 @@ fn main() {
             &format!("{fig} — {} wire traffic per worker ({backend_name})", model.name()),
             &[
                 "algorithm",
-                "wire_bits_per_iter",
+                "effective_bits_per_step",
                 "intra_wire_bits_per_iter",
                 "inter_wire_bits_per_iter",
                 "measured_wire_bytes_total",
+                "measured_sync_wire_bytes_total",
                 "messages_total",
                 "framing_bytes_total",
                 "iters",
+                "syncs_per_run",
+                "local_steps",
             ],
         );
         for (label, c) in &curves {
@@ -344,9 +399,12 @@ fn main() {
                 c.intra_wire_bits_per_iter.to_string(),
                 c.inter_wire_bits_per_iter.to_string(),
                 c.measured_wire_bytes.to_string(),
+                c.measured_sync_wire_bytes.to_string(),
                 c.messages.to_string(),
                 c.framing_bytes.to_string(),
                 c.iters.to_string(),
+                c.sync_steps.to_string(),
+                c.local_steps.to_string(),
             ]);
         }
         let tpath = results_dir().join(format!("fig3_w{workers}_{suffix}_traffic.csv"));

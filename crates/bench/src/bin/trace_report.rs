@@ -61,6 +61,10 @@ struct RankView {
     rerendezvous: Vec<(u64, u64)>,
     /// `elastic/first_sync` instants, ns (first post-recovery collective).
     first_sync: Vec<u64>,
+    /// `sched/local` instants — steps a sync schedule skipped the wire on.
+    sched_local: u64,
+    /// `sched/sync` instants — scheduled steps that ran the synchronizer.
+    sched_sync: u64,
 }
 
 fn scan_thread(t: &ThreadTrace, view: &mut RankView) {
@@ -104,7 +108,11 @@ fn scan_thread(t: &ThreadTrace, view: &mut RankView) {
                 Args::Plane { space, plane } => {
                     view.planes.insert(space, plane);
                 }
-                _ => {}
+                _ => match ev.name {
+                    "sched/local" => view.sched_local += 1,
+                    "sched/sync" => view.sched_sync += 1,
+                    _ => {}
+                },
             },
             Ph::AsyncBegin => {
                 open_async.entry((ev.name, ev.id)).or_default().push(ev.t_ns);
@@ -343,6 +351,32 @@ fn main() {
                 failures.push(format!(
                     "rank {rank}: overlap was enabled but no bucket/inflight interval \
                      intersects a phase/backward span"
+                ));
+            }
+        }
+
+        // Sync-schedule ledger: the per-step `sched/local` + `sched/sync`
+        // instants must agree with the trainer's own audit counters, and
+        // every step must be accounted as exactly one of the two.
+        if let Some(&total) = view.audits.get("audit/sched/total_steps") {
+            let want_local =
+                view.audits.get("audit/sched/local_steps").copied().unwrap_or(f64::NAN);
+            let want_sync = view.audits.get("audit/sched/sync_steps").copied().unwrap_or(f64::NAN);
+            let ok = view.sched_local as f64 == want_local
+                && view.sched_sync as f64 == want_sync
+                && (view.sched_local + view.sched_sync) as f64 == total;
+            println!(
+                "  sched ledger: instants {} local + {} sync  stats {want_local} + {want_sync}  \
+                 total {total}  {}",
+                view.sched_local,
+                view.sched_sync,
+                if ok { "ok" } else { "MISMATCH" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "rank {rank}: sched instants ({} local, {} sync) disagree with the \
+                     trainer's ledger ({want_local} local, {want_sync} sync, {total} total)",
+                    view.sched_local, view.sched_sync
                 ));
             }
         }

@@ -104,6 +104,10 @@ impl GradientSynchronizer for HierarchicalSynchronizer {
             inter_wire_bits: inner_stats.wire_bits,
             intra_exchange_seconds,
             inter_exchange_seconds: inner_stats.exchange_seconds,
+            // Members never see the inner exchange, so no rank-agreed
+            // dispersion exists under the hierarchy; the trainer's explicit
+            // drift allgather covers adaptive schedules here.
+            dispersion: None,
         }
     }
 

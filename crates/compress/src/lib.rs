@@ -119,6 +119,15 @@ pub struct SyncStats {
     pub intra_exchange_seconds: f64,
     /// Of `exchange_seconds`, the seconds spent in inter-group collectives.
     pub inter_exchange_seconds: f64,
+    /// Free inter-worker dispersion statistic, when the exchange already
+    /// carried one: a normalized variance across ranks of the per-rank
+    /// encoded summaries (the A2SGD family derives it from the allgathered
+    /// two-means packets at zero extra wire cost). **Must be identical on
+    /// every rank** — adaptive sync schedules feed it straight into their
+    /// (deadlock-if-ranks-disagree) period controller. Synchronizers whose
+    /// exchange carries no such rank-agreed summary report `None`, and the
+    /// trainer falls back to an explicit drift allgather.
+    pub dispersion: Option<f64>,
 }
 
 /// Captures the logical-bit delta a collective exchange produced — the

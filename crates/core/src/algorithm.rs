@@ -52,6 +52,17 @@ impl A2sgd {
     }
 }
 
+/// Population variance of the per-rank summaries normalized by the squared
+/// mean (scale-free, so adaptive controllers can ratio observations across
+/// a run regardless of gradient magnitude). Deterministic f64 left-to-right
+/// accumulation in gather order.
+fn dispersion_of(per_rank: &[f64]) -> f64 {
+    let n = per_rank.len() as f64;
+    let mean = per_rank.iter().sum::<f64>() / n;
+    let var = per_rank.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / n;
+    var / (mean * mean + 1e-24)
+}
+
 impl GradientSynchronizer for A2sgd {
     fn name(&self) -> &'static str {
         "A2SGD"
@@ -97,11 +108,20 @@ impl GradientSynchronizer for A2sgd {
         let wire_bits = comm.stats().logical_wire_bits - bits_before;
         let inv = 1.0 / gathered.len() as f32;
         let (mut gmu_pos, mut gmu_neg) = (0.0f32, 0.0f32);
+        // Free dispersion statistic for adaptive sync schedules: every rank
+        // holds the identical gathered packet sequence, so the normalized
+        // variance of the per-rank mean magnitudes (µ+ + µ−, the scale of
+        // each worker's contribution) is rank-agreed by construction and
+        // costs zero extra wire bits. Accumulated in f64, in gather order —
+        // bit-identical on every rank and backend.
+        let mut magnitudes = Vec::with_capacity(gathered.len());
         for frame in gathered {
             let (p, n) = Self::decode_means(frame.expect_u64()[0]);
             gmu_pos += p;
             gmu_neg += n;
+            magnitudes.push(p as f64 + n as f64);
         }
+        let dispersion = dispersion_of(&magnitudes);
 
         let t2 = Instant::now();
         restore_with_global_means(grad, &mask, gmu_pos * inv, gmu_neg * inv);
@@ -113,6 +133,7 @@ impl GradientSynchronizer for A2sgd {
             compress_seconds: compress_head + residual_seconds + restore_seconds,
             exchange_seconds,
             wire_bits,
+            dispersion: Some(dispersion),
             ..SyncStats::default()
         }
     }

@@ -23,7 +23,29 @@ use std::path::Path;
 /// Environment variable naming the checkpoint output directory.
 pub const ENV_CKPT_DIR: &str = "A2SGD_CKPT_DIR";
 
-const MAGIC: &[u8; 8] = b"A2SGDCK\x01";
+/// Codec v1: step/seed/params/velocity only. Still decoded (as
+/// `sched: None`) so pre-schedule checkpoint files resume cleanly.
+const MAGIC_V1: &[u8; 8] = b"A2SGDCK\x01";
+/// Codec v2 (current): v1 plus an optional sync-schedule block.
+const MAGIC: &[u8; 8] = b"A2SGDCK\x02";
+
+/// Sync-schedule state captured alongside the model state, so resuming
+/// mid-period re-enters the window at the exact phase — see
+/// [`a2sgd_sched::SchedState`] for the field semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedCheckpoint {
+    /// Local steps taken since the last sync (phase within the window).
+    pub local_in_window: u64,
+    /// The period in force (adaptive schedules: the controller's choice).
+    pub current_h: u64,
+    /// The adaptive controller's reference dispersion (`0.0` = unset).
+    /// Stored as an f64 bit pattern, so resume is bit-exact.
+    pub ref_dispersion: f64,
+    /// The pseudo-gradient anchor: parameters as of the last sync. A
+    /// checkpoint cut mid-window needs it to rebuild `Δ = w_anchor − w`
+    /// identically on resume.
+    pub anchor: Vec<f32>,
+}
 
 /// One consistent snapshot of worker-local training state.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +60,9 @@ pub struct Checkpoint {
     /// Optimizer velocity lanes, one per parameter tensor (empty before
     /// the first step, or for momentum-free runs).
     pub velocity: Vec<Vec<f32>>,
+    /// Sync-schedule state (`None` for every-step runs and for files
+    /// written by the v1 codec).
+    pub sched: Option<SchedCheckpoint>,
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -95,14 +120,27 @@ impl Checkpoint {
         for lane in &self.velocity {
             put_f32s(&mut out, lane);
         }
+        // v2 tail: schedule presence flag, then the block.
+        match &self.sched {
+            None => put_u64(&mut out, 0),
+            Some(s) => {
+                put_u64(&mut out, 1);
+                put_u64(&mut out, s.local_in_window);
+                put_u64(&mut out, s.current_h);
+                put_u64(&mut out, s.ref_dispersion.to_bits());
+                put_f32s(&mut out, &s.anchor);
+            }
+        }
         out
     }
 
-    /// Decodes [`Self::encode`]'s layout; errors name what was malformed.
+    /// Decodes [`Self::encode`]'s layout (and the legacy v1 layout, which
+    /// simply lacks the schedule tail); errors name what was malformed.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let magic = r.take(8)?;
-        if magic != MAGIC {
+        let v1 = magic == MAGIC_V1;
+        if !v1 && magic != MAGIC {
             return Err(format!("not a checkpoint (magic {magic:02x?})"));
         }
         let step = r.u64()?;
@@ -113,10 +151,24 @@ impl Checkpoint {
         for _ in 0..lanes {
             velocity.push(r.f32s()?);
         }
+        let sched = if v1 {
+            None
+        } else {
+            match r.u64()? {
+                0 => None,
+                1 => Some(SchedCheckpoint {
+                    local_in_window: r.u64()?,
+                    current_h: r.u64()?,
+                    ref_dispersion: f64::from_bits(r.u64()?),
+                    anchor: r.f32s()?,
+                }),
+                f => return Err(format!("bad schedule presence flag {f}")),
+            }
+        };
         if r.pos != bytes.len() {
             return Err(format!("{} trailing bytes after checkpoint", bytes.len() - r.pos));
         }
-        Ok(Checkpoint { step, seed, params, velocity })
+        Ok(Checkpoint { step, seed, params, velocity, sched })
     }
 
     /// Writes the encoding to `path` (atomically: temp file + rename, so a
@@ -166,6 +218,19 @@ mod tests {
             seed: 0xDEAD_BEEF,
             params: vec![1.0, -0.5, f32::MIN_POSITIVE, 3.25e-7, -0.0],
             velocity: vec![vec![0.125, -9.0], vec![], vec![42.0]],
+            sched: None,
+        }
+    }
+
+    fn sample_scheduled() -> Checkpoint {
+        Checkpoint {
+            sched: Some(SchedCheckpoint {
+                local_in_window: 5,
+                current_h: 8,
+                ref_dispersion: 0.062_5,
+                anchor: vec![1.0, -0.5, 0.25, -0.0, 3.25e-7],
+            }),
+            ..sample()
         }
     }
 
@@ -182,6 +247,37 @@ mod tests {
         for (a, b) in d.velocity.iter().zip(&c.velocity) {
             assert_eq!(bits(a), bits(b));
         }
+        assert_eq!(d.sched, None);
+    }
+
+    #[test]
+    fn schedule_block_round_trips_bit_exact() {
+        let c = sample_scheduled();
+        let d = Checkpoint::decode(&c.encode()).unwrap();
+        let (ds, cs) = (d.sched.unwrap(), c.sched.unwrap());
+        assert_eq!(ds.local_in_window, cs.local_in_window);
+        assert_eq!(ds.current_h, cs.current_h);
+        assert_eq!(ds.ref_dispersion.to_bits(), cs.ref_dispersion.to_bits());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ds.anchor), bits(&cs.anchor));
+    }
+
+    #[test]
+    fn v1_files_decode_with_no_schedule() {
+        // A v1 file is the v2 encoding minus the schedule tail, under the
+        // old magic — exactly what the pre-schedule codec wrote.
+        let c = sample();
+        let mut v1 = c.encode();
+        v1.truncate(v1.len() - 8); // drop the presence flag
+        v1[7] = 0x01; // stamp the v1 version byte
+        let d = Checkpoint::decode(&v1).unwrap();
+        assert_eq!(d.step, c.step);
+        assert_eq!(d.params, c.params);
+        assert_eq!(d.sched, None);
+        // And a truncated v2 (schedule tail missing) fails loudly.
+        let mut bad = c.encode();
+        bad.truncate(bad.len() - 8);
+        assert!(Checkpoint::decode(&bad).unwrap_err().contains("truncated"));
     }
 
     #[test]

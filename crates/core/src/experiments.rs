@@ -143,6 +143,7 @@ pub fn scaled_convergence_config(
         bucket_bytes: None,
         overlap_backward: false,
         topology: Topology::Flat,
+        schedule: a2sgd_sched::SchedKind::EveryStep,
         profile: NetworkProfile::infiniband_100g(),
         grad_hist_iters: vec![],
         checkpoint_every: None,

@@ -38,8 +38,9 @@ pub mod theory;
 pub mod trainer;
 pub mod variants;
 
+pub use a2sgd_sched::{SchedKind, SyncSchedule};
 pub use algorithm::A2sgd;
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, SchedCheckpoint};
 pub use cluster_comm::CommBackend;
 pub use mean2::{enc_into, restore_with_global_means, split_means, TwoMeans};
 pub use overlap::{HookLayout, HookedStep};

@@ -83,6 +83,21 @@ impl AlgoKind {
         }
     }
 
+    /// Parses a full synchronization spec: either a bare algorithm name
+    /// (schedule = every step) or `sched(<schedule>, <algo>)` composing a
+    /// sync schedule with the inner algorithm — e.g. `sched(fixed8, a2sgd)`
+    /// is one 64-bit packet every 8 steps. Schedule spellings are
+    /// [`a2sgd_sched::SchedKind::parse`]'s (`every`, `fixed<H>`,
+    /// `postlocal<W>+<H>`, `adaptive<H0>`).
+    pub fn parse_spec(s: &str) -> Option<(a2sgd_sched::SchedKind, AlgoKind)> {
+        let t = s.trim();
+        if let Some(rest) = t.strip_prefix("sched(").and_then(|r| r.strip_suffix(')')) {
+            let (sched, algo) = rest.split_once(',')?;
+            return Some((a2sgd_sched::SchedKind::parse(sched)?, AlgoKind::parse(algo.trim())?));
+        }
+        Some((a2sgd_sched::SchedKind::EveryStep, AlgoKind::parse(t)?))
+    }
+
     /// Parses a CLI name like `a2sgd`, `topk`, `qsgd`, `klevel4`.
     pub fn parse(s: &str) -> Option<AlgoKind> {
         let l = s.to_ascii_lowercase();
@@ -144,6 +159,27 @@ mod tests {
             assert_eq!(AlgoKind::parse(s), Some(expect), "{s}");
         }
         assert_eq!(AlgoKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn parse_spec_composes_schedules_with_algorithms() {
+        use a2sgd_sched::SchedKind;
+        assert_eq!(
+            AlgoKind::parse_spec("sched(fixed8, a2sgd)"),
+            Some((SchedKind::Fixed(8), AlgoKind::A2sgd))
+        );
+        assert_eq!(
+            AlgoKind::parse_spec("sched(postlocal16+8, dense)"),
+            Some((SchedKind::PostLocal { warmup: 16, h: 8 }, AlgoKind::Dense))
+        );
+        assert_eq!(
+            AlgoKind::parse_spec("sched(adaptive4,qsgd)"),
+            Some((SchedKind::Adaptive(4), AlgoKind::Qsgd(PAPER_QSGD_LEVELS)))
+        );
+        // Bare names keep the every-step degenerate schedule.
+        assert_eq!(AlgoKind::parse_spec("a2sgd"), Some((SchedKind::EveryStep, AlgoKind::A2sgd)));
+        assert_eq!(AlgoKind::parse_spec("sched(fixed8)"), None);
+        assert_eq!(AlgoKind::parse_spec("sched(nope, a2sgd)"), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::metrics;
 use crate::overlap::{HookLayout, HookedStep};
 use crate::registry::AlgoKind;
+use a2sgd_sched::{SchedKind, SyncDecision, SyncObservation};
 use cluster_comm::{run_cluster, CommBackend, CommHandle, NetworkProfile};
 use mini_nn::flat::{flatten_grads, flatten_params, load_params, param_count, scatter_grads};
 use mini_nn::loss::softmax_cross_entropy;
@@ -164,6 +165,20 @@ pub struct TrainConfig {
     /// two-level dense-intra / algo-inter hierarchy. Does not yet compose
     /// with `overlap_backward`.
     pub topology: Topology,
+    /// Sync schedule: *when* to communicate, orthogonal to `algo`'s *how*.
+    /// [`SchedKind::EveryStep`] (the default) keeps the classic trainer
+    /// byte-for-byte. Periodic schedules skip the synchronizer entirely on
+    /// `Local` steps (0 wire bits, traced as a `sched/local` instant) and
+    /// on the `Sync` step closing an H-step window apply the local
+    /// optimizer step first, then average **parameters** as the
+    /// pseudo-gradient `Δ = w_anchor − w` through the configured
+    /// synchronizer/topology path — exact model averaging under dense, the
+    /// O(1) two-means packet (plus a local residual) under A2SGD. A `Sync`
+    /// closing a degenerate window (zero local steps — every step of
+    /// `fixed1`, or a post-local warmup) takes the classic gradient path,
+    /// which is why `fixed1` is bit-identical to `every`. Does not yet
+    /// compose with `overlap_backward`.
+    pub schedule: SchedKind,
     /// Modeled network (in-proc backend only; TCP measures instead).
     pub profile: NetworkProfile,
     /// Iterations at which worker 0 records a gradient histogram
@@ -191,11 +206,18 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// The algorithm label as the figures print it: the bare registry name
     /// under [`Topology::Flat`], `hier(dense, <name>)` under
-    /// [`Topology::Hier`].
+    /// [`Topology::Hier`], the whole thing wrapped as
+    /// `sched(<schedule>, <inner>)` when a non-degenerate sync schedule is
+    /// configured.
     pub fn algo_label(&self) -> String {
-        match self.topology {
+        let inner = match self.topology {
             Topology::Flat => self.algo.name().to_string(),
             Topology::Hier { .. } => format!("hier(dense, {})", self.algo.name()),
+        };
+        if self.schedule.is_every_step() {
+            inner
+        } else {
+            format!("sched({}, {inner})", self.schedule.label())
         }
     }
 }
@@ -228,7 +250,17 @@ pub struct TrainReport {
     pub avg_iter_seconds: f64,
     /// Iterations executed (per worker).
     pub iters: usize,
-    /// Logical wire bits per iteration per worker.
+    /// Of `iters`, the steps on which the synchronizer actually ran
+    /// (equals `iters` under [`SchedKind::EveryStep`]).
+    pub sync_steps: usize,
+    /// Of `iters`, the communication-free local-SGD steps a periodic
+    /// schedule skipped the synchronizer on (0 under
+    /// [`SchedKind::EveryStep`]).
+    pub local_steps: usize,
+    /// Logical wire bits per iteration per worker. With a periodic
+    /// schedule this is averaged over **all** steps — local steps
+    /// contribute 0 — so it is directly the effective bits/step the
+    /// (period × compressor) grid compares.
     pub wire_bits_per_iter: u64,
     /// Of `wire_bits_per_iter`, the bits on the hierarchical *intra-group*
     /// plane (0 under [`Topology::Flat`]).
@@ -243,6 +275,13 @@ pub struct TrainReport {
     /// bytes. (Hierarchical sub-communicators account separately, via the
     /// intra/inter wire-bit splits.)
     pub measured_wire_bytes: u64,
+    /// Of `measured_wire_bytes`, the bytes moved *inside* per-step
+    /// synchronization calls (gradient or pseudo-gradient exchanges plus
+    /// any schedule bookkeeping collectives) — i.e. excluding the
+    /// run-constant tail traffic (final Algorithm-1 re-average, metric
+    /// broadcast), so periodic-vs-every-step wire reductions compare the
+    /// traffic the schedule actually governs.
+    pub measured_sync_wire_bytes: u64,
     /// Total frames the flat world communicator put on the wire over the
     /// whole run (collective payload frames plus barrier control frames).
     pub messages: u64,
@@ -276,6 +315,9 @@ struct WorkerOut {
     epochs: Vec<EpochStats>,
     sim_seconds: f64,
     iters: usize,
+    sync_steps: usize,
+    local_steps: usize,
+    sync_wire_bytes: u64,
     wire_bits_total: u64,
     intra_wire_bits_total: u64,
     inter_wire_bits_total: u64,
@@ -321,10 +363,13 @@ fn build_report(cfg: &TrainConfig, w0: &WorkerOut, divergence: f64) -> TrainRepo
         total_sim_seconds: w0.sim_seconds,
         avg_iter_seconds: if w0.iters > 0 { w0.sim_seconds / w0.iters as f64 } else { 0.0 },
         iters: w0.iters,
+        sync_steps: w0.sync_steps,
+        local_steps: w0.local_steps,
         wire_bits_per_iter: per_iter(w0.wire_bits_total),
         intra_wire_bits_per_iter: per_iter(w0.intra_wire_bits_total),
         inter_wire_bits_per_iter: per_iter(w0.inter_wire_bits_total),
         measured_wire_bytes: w0.wire_bytes_measured,
+        measured_sync_wire_bytes: w0.sync_wire_bytes,
         messages: w0.messages,
         framing_bytes: w0.wire_bytes_measured.saturating_sub(w0.bytes_sent),
         avg_compress_seconds: if w0.iters > 0 {
@@ -437,6 +482,23 @@ fn run_worker(
     }
     let mut opt = Optimizer::new(cfg.opt);
 
+    // Sync schedule: decisions are a pure function of state that evolves
+    // identically on every rank (see `a2sgd-sched`'s determinism contract),
+    // so ranks agree on which steps communicate — the collectives below
+    // would deadlock otherwise.
+    let mut schedule = cfg.schedule.build();
+    let scheduled = !schedule.is_every_step();
+    if scheduled {
+        assert!(!cfg.overlap_backward, "sync schedules do not yet compose with overlap_backward");
+    }
+    // Parameter anchor for pseudo-gradient windows: the globally-agreed
+    // parameters as of the last sync (identical init across ranks plays
+    // the role of the initial broadcast). Empty when unscheduled.
+    let mut anchor: Vec<f32> = Vec::new();
+    if scheduled {
+        flatten_params(model.as_mut(), &mut anchor);
+    }
+
     // The deterministic size-capped bucketizer: boundaries are a pure
     // function of the parameter layout (layer-boundary-aligned), so every
     // rank on every backend pipelines identical buckets — and the result
@@ -460,6 +522,9 @@ fn run_worker(
     let mut flats = [Vec::with_capacity(n), Vec::with_capacity(n)];
     let mut epochs = Vec::with_capacity(cfg.epochs);
     let mut iters_done = 0usize;
+    let mut sync_steps = 0usize;
+    let mut local_steps = 0usize;
+    let mut sync_wire_bytes = 0u64;
     let mut wire_bits_total = 0u64;
     let mut intra_wire_bits_total = 0u64;
     let mut inter_wire_bits_total = 0u64;
@@ -530,6 +595,14 @@ fn run_worker(
             }
             loss_sum += lo.loss as f64;
             let want_hist = rank == 0 && cfg.grad_hist_iters.contains(&global_iter);
+            let epoch_frac = epoch as f32 + it as f32 / iters_per_epoch as f32;
+            // Schedule bookkeeping: which kind of step this was, whether
+            // the pseudo-gradient path already applied the optimizer
+            // update, and the world bytes attributable to this step's
+            // synchronization (0 on local steps — nothing flies).
+            let mut was_local = false;
+            let mut step_applied = false;
+            let step_bytes_before = comm.stats().wire_bytes;
             let flat = &mut flats[global_iter % 2];
             let stats = if let Some(layout) = &hook_layout {
                 // The session opens before backward; each bucket is
@@ -564,13 +637,110 @@ fn run_worker(
                 if want_hist {
                     histograms.push((global_iter, grad_histogram(flat)));
                 }
-                // Drive the bucketed pipeline over the flat gradient we
-                // already hold contiguously: bucket i's exchange is in
-                // flight while bucket i+1 encodes inside `sync_bucketed`.
-                let ex_ns = a2sgd_trace::now_ns();
-                let stats = sync.sync_bucketed(flat, &bounds, comm);
-                if a2sgd_trace::enabled() {
-                    a2sgd_trace::closed_span("phase/exchange", ex_ns, a2sgd_trace::Args::None);
+                let decision = if scheduled {
+                    schedule.decide(global_iter as u64)
+                } else {
+                    SyncDecision::Sync
+                };
+                let stats = match decision {
+                    SyncDecision::Local => {
+                        // Local-SGD step: the synchronizer is skipped
+                        // entirely — the local gradient drives the local
+                        // optimizer and nothing crosses the wire.
+                        was_local = true;
+                        if a2sgd_trace::enabled() {
+                            a2sgd_trace::instant("sched/local", a2sgd_trace::Args::None);
+                        }
+                        gradcomp::SyncStats::default()
+                    }
+                    SyncDecision::Sync => {
+                        let window_len = schedule.local_in_window() + 1;
+                        let want_disp = scheduled && schedule.wants_dispersion();
+                        // `drift` backs the explicit dispersion fallback:
+                        // this rank's (‖v − v̂‖², ‖v̂‖²) around the sync.
+                        let (mut stats, drift) = if !scheduled || window_len == 1 {
+                            // Degenerate window (and the whole unscheduled
+                            // trainer): classic gradient averaging — bucket
+                            // i's exchange is in flight while bucket i+1
+                            // encodes inside `sync_bucketed`.
+                            let pre = want_disp.then(|| flat.clone());
+                            let ex_ns = a2sgd_trace::now_ns();
+                            let stats = sync.sync_bucketed(flat, &bounds, comm);
+                            if a2sgd_trace::enabled() {
+                                a2sgd_trace::closed_span(
+                                    "phase/exchange",
+                                    ex_ns,
+                                    a2sgd_trace::Args::None,
+                                );
+                            }
+                            (stats, pre.map(|p| drift_sums(&p, flat)))
+                        } else {
+                            // Window-closing sync: apply this step's local
+                            // update first, then average *parameters* as
+                            // the pseudo-gradient Δ = w_anchor − w through
+                            // the very same synchronizer — exact model
+                            // averaging under dense, the O(1) two-means
+                            // packet (plus a local residual) under A2SGD.
+                            scatter_grads(model.as_mut(), flat);
+                            let opt_ns = a2sgd_trace::now_ns();
+                            let t1 = Instant::now();
+                            opt.step(model.as_mut(), cfg.lr.lr_at(epoch_frac));
+                            if a2sgd_trace::enabled() {
+                                a2sgd_trace::closed_span(
+                                    "phase/optimizer",
+                                    opt_ns,
+                                    a2sgd_trace::Args::None,
+                                );
+                            }
+                            comm.advance_compute(t1.elapsed().as_secs_f64());
+                            step_applied = true;
+                            flatten_params(model.as_mut(), flat);
+                            for (d, a) in flat.iter_mut().zip(&anchor) {
+                                *d = a - *d;
+                            }
+                            let pre = want_disp.then(|| flat.clone());
+                            let ex_ns = a2sgd_trace::now_ns();
+                            let stats = sync.sync_bucketed(flat, &bounds, comm);
+                            if a2sgd_trace::enabled() {
+                                a2sgd_trace::closed_span(
+                                    "phase/exchange",
+                                    ex_ns,
+                                    a2sgd_trace::Args::None,
+                                );
+                            }
+                            let drift = pre.map(|p| drift_sums(&p, flat));
+                            // w ← w_anchor − Δ̄; the new parameters become
+                            // the next window's anchor.
+                            for (w, a) in flat.iter_mut().zip(&anchor) {
+                                *w = a - *w;
+                            }
+                            load_params(model.as_mut(), flat);
+                            anchor.copy_from_slice(flat);
+                            (stats, drift)
+                        };
+                        if want_disp {
+                            let dispersion = match stats.dispersion {
+                                // Free: the exchange already carried a
+                                // rank-agreed statistic (A2SGD's gathered
+                                // two-means packets).
+                                Some(d) => d,
+                                // Fallback: one 128-bit drift allgather,
+                                // billed honestly into the accounting.
+                                None => {
+                                    stats.wire_bits += 128;
+                                    gathered_dispersion(drift.unwrap_or((0.0, 0.0)), comm)
+                                }
+                            };
+                            schedule.observe_sync(&SyncObservation { dispersion, window_len });
+                        }
+                        if scheduled && a2sgd_trace::enabled() {
+                            a2sgd_trace::instant("sched/sync", a2sgd_trace::Args::None);
+                        }
+                        stats
+                    }
+                };
+                if scheduled {
+                    schedule.record(decision);
                 }
                 stats
             };
@@ -580,15 +750,28 @@ fn run_worker(
             compress_total += stats.compress_seconds;
             exchange_total += stats.exchange_seconds;
             overlap_total += stats.overlap_seconds;
-            scatter_grads(model.as_mut(), flat);
-            let epoch_frac = epoch as f32 + it as f32 / iters_per_epoch as f32;
-            let opt_ns = a2sgd_trace::now_ns();
-            let t1 = Instant::now();
-            opt.step(model.as_mut(), cfg.lr.lr_at(epoch_frac));
-            if a2sgd_trace::enabled() {
-                a2sgd_trace::closed_span("phase/optimizer", opt_ns, a2sgd_trace::Args::None);
+            sync_wire_bytes += comm.stats().wire_bytes - step_bytes_before;
+            if was_local {
+                local_steps += 1;
+            } else {
+                sync_steps += 1;
             }
-            comm.advance_compute(t1.elapsed().as_secs_f64());
+            if !step_applied {
+                scatter_grads(model.as_mut(), flat);
+                let opt_ns = a2sgd_trace::now_ns();
+                let t1 = Instant::now();
+                opt.step(model.as_mut(), cfg.lr.lr_at(epoch_frac));
+                if a2sgd_trace::enabled() {
+                    a2sgd_trace::closed_span("phase/optimizer", opt_ns, a2sgd_trace::Args::None);
+                }
+                comm.advance_compute(t1.elapsed().as_secs_f64());
+                // A degenerate-window sync under a schedule (post-local
+                // warmup, `fixed1`) still refreshes the anchor: the next
+                // window measures Δ from the just-synchronized state.
+                if scheduled && !was_local {
+                    flatten_params(model.as_mut(), &mut anchor);
+                }
+            }
             iters_done += 1;
 
             // ---- checkpoint (rank 0, off the simulated clock) ----------
@@ -598,11 +781,21 @@ fn run_worker(
                         let dir = std::path::Path::new(&dir);
                         let mut params = Vec::with_capacity(n);
                         flatten_params(model.as_mut(), &mut params);
+                        let sched = scheduled.then(|| {
+                            let s = schedule.state();
+                            crate::checkpoint::SchedCheckpoint {
+                                local_in_window: s.local_in_window,
+                                current_h: s.current_h,
+                                ref_dispersion: s.ref_dispersion,
+                                anchor: anchor.clone(),
+                            }
+                        });
                         let ckpt = crate::checkpoint::Checkpoint {
                             step: iters_done as u64,
                             seed: cfg.seed,
                             params,
                             velocity: opt.velocity_lanes().to_vec(),
+                            sched,
                         };
                         let _ = std::fs::create_dir_all(dir);
                         let path = dir.join(crate::checkpoint::Checkpoint::file_name(ckpt.step));
@@ -679,6 +872,14 @@ fn run_worker(
         val("audit/overlap_seconds", overlap_total);
         val("audit/exchange_seconds", exchange_total);
         val("audit/overlap_enabled", if cfg.overlap_backward { 1.0 } else { 0.0 });
+        if scheduled {
+            // The schedule's own ledger: `trace_report` checks these
+            // against the per-step sched/local + sched/sync instants and
+            // requires local + sync == total.
+            val("audit/sched/local_steps", local_steps as f64);
+            val("audit/sched/sync_steps", sync_steps as f64);
+            val("audit/sched/total_steps", iters_done as f64);
+        }
         a2sgd_trace::metrics::counter_add("iters", iters_done as u64);
         a2sgd_trace::metrics::gauge_set(
             "wire_bits_per_iter",
@@ -694,6 +895,9 @@ fn run_worker(
         epochs,
         sim_seconds: comm.clock(),
         iters: iters_done,
+        sync_steps,
+        local_steps,
+        sync_wire_bytes,
         wire_bits_total,
         intra_wire_bits_total,
         inter_wire_bits_total,
@@ -706,6 +910,36 @@ fn run_worker(
         divergence: div,
         histograms,
     }
+}
+
+/// Local drift statistics for the explicit dispersion fallback: the
+/// squared distance between this rank's pre-sync vector and the
+/// synchronized result, plus the result's squared norm.
+fn drift_sums(pre: &[f32], post: &[f32]) -> (f64, f64) {
+    let mut drift = 0.0f64;
+    let mut norm = 0.0f64;
+    for (a, b) in pre.iter().zip(post) {
+        let d = (*a as f64) - (*b as f64);
+        drift += d * d;
+        let p = *b as f64;
+        norm += p * p;
+    }
+    (drift, norm)
+}
+
+/// The rank-agreed dispersion from an allgather of per-rank drift sums —
+/// `Σ‖vᵢ − v̂ᵢ‖² / (Σ‖v̂ᵢ‖² + ε)` — accumulated in rank order in f64, so
+/// every rank computes the bit-identical value (the adaptive schedule's
+/// determinism requirement). Two u64 lanes per rank: 128 honest wire bits.
+fn gathered_dispersion(local: (f64, f64), comm: &mut cluster_comm::CommHandle) -> f64 {
+    let gathered = comm.allgather(&[local.0.to_bits(), local.1.to_bits()]);
+    let mut drift = 0.0f64;
+    let mut norm = 0.0f64;
+    for v in &gathered {
+        drift += f64::from_bits(v[0]);
+        norm += f64::from_bits(v[1]);
+    }
+    drift / (norm + 1e-24)
 }
 
 /// Figure-1 capture: a ±3σ histogram of the local (pre-sync) gradient.
@@ -792,6 +1026,7 @@ mod tests {
             bucket_bytes: None,
             overlap_backward: false,
             topology: Topology::Flat,
+            schedule: SchedKind::EveryStep,
             profile: NetworkProfile::infiniband_100g(),
             grad_hist_iters: vec![0, 5],
             checkpoint_every: None,
@@ -932,6 +1167,96 @@ mod tests {
         assert!(r.intra_wire_bits_per_iter > 0, "dense intra plane must carry the gradient");
         assert_eq!(r.wire_bits_per_iter, r.intra_wire_bits_per_iter + r.inter_wire_bits_per_iter);
         assert!(r.label.contains("hier(dense, A2SGD)"), "label {}", r.label);
+    }
+
+    #[test]
+    fn fixed1_schedule_is_bit_identical_to_every_step() {
+        // Degenerate windows take the classic gradient path, so `fixed1`
+        // must reproduce the unscheduled trainer bit-for-bit (the full
+        // 11-algorithm matrix runs in tests/sched_parity.rs).
+        for algo in [AlgoKind::Dense, AlgoKind::A2sgd] {
+            let every = train(&tiny_cfg(algo, 2));
+            let mut cfg = tiny_cfg(algo, 2);
+            cfg.schedule = SchedKind::Fixed(1);
+            let fixed1 = train(&cfg);
+            assert_eq!(every.final_metric, fixed1.final_metric, "{}", algo.name());
+            assert_eq!(every.replica_divergence, fixed1.replica_divergence, "{}", algo.name());
+            let la: Vec<u64> = every.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+            let lb: Vec<u64> = fixed1.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+            assert_eq!(la, lb, "{}", algo.name());
+            assert_eq!(every.wire_bits_per_iter, fixed1.wire_bits_per_iter, "{}", algo.name());
+            assert_eq!(fixed1.sync_steps, fixed1.iters);
+            assert_eq!(fixed1.local_steps, 0);
+        }
+    }
+
+    #[test]
+    fn fixed_period_skips_syncs_and_cuts_wire_bits() {
+        let mut cfg = tiny_cfg(AlgoKind::A2sgd, 2);
+        cfg.schedule = SchedKind::Fixed(4);
+        let r = train(&cfg);
+        assert_eq!(r.sync_steps + r.local_steps, r.iters);
+        assert_eq!(r.sync_steps, r.iters / 4, "one sync per 4-step window");
+        // Effective bits/step: the 64-bit packet amortized over the window.
+        assert_eq!(r.wire_bits_per_iter, 64 * r.sync_steps as u64 / r.iters as u64);
+        assert!(r.final_metric > 30.0, "accuracy {} too low", r.final_metric);
+        assert!(r.label.contains("sched(fixed4, A2SGD)"), "label {}", r.label);
+    }
+
+    #[test]
+    fn post_local_warmup_counts_windows_correctly() {
+        let mut cfg = tiny_cfg(AlgoKind::Dense, 2);
+        cfg.schedule = SchedKind::PostLocal { warmup: 5, h: 4 };
+        let r = train(&cfg);
+        // 5 warmup syncs, then 4-step windows over the remaining steps.
+        let expect_syncs = 5 + (r.iters - 5) / 4;
+        assert_eq!(r.sync_steps, expect_syncs);
+        assert_eq!(r.sync_steps + r.local_steps, r.iters);
+        assert!(r.final_metric > 30.0, "accuracy {} too low", r.final_metric);
+    }
+
+    #[test]
+    fn adaptive_schedule_trains_on_both_dispersion_paths() {
+        // A2SGD: free dispersion from the gathered two-means packets;
+        // Dense: the explicit 128-bit drift allgather fallback. Both must
+        // agree across ranks (the run would deadlock otherwise) and train.
+        for algo in [AlgoKind::A2sgd, AlgoKind::Dense] {
+            let mut cfg = tiny_cfg(algo, 2);
+            cfg.schedule = SchedKind::Adaptive(2);
+            let r = train(&cfg);
+            assert_eq!(r.sync_steps + r.local_steps, r.iters, "{}", algo.name());
+            assert!(r.local_steps > 0, "{} adaptive never went local", algo.name());
+            assert!(r.final_metric > 30.0, "{} accuracy {}", algo.name(), r.final_metric);
+        }
+    }
+
+    #[test]
+    fn scheduled_hier_composes_with_o1_inter_traffic() {
+        let mut cfg = tiny_cfg(AlgoKind::A2sgd, 4);
+        cfg.topology = Topology::Hier { group_size: 2 };
+        cfg.schedule = SchedKind::Fixed(4);
+        let r = train(&cfg);
+        assert!(r.final_metric > 30.0, "accuracy {} too low", r.final_metric);
+        assert_eq!(r.sync_steps, r.iters / 4);
+        // The O(1) inter-plane claim survives the composition: 64 bits per
+        // sync, amortized over the window.
+        assert_eq!(r.inter_wire_bits_per_iter, 64 * r.sync_steps as u64 / r.iters as u64);
+        assert!(r.label.contains("sched(fixed4, hier(dense, A2SGD))"), "label {}", r.label);
+    }
+
+    #[test]
+    fn scheduled_runs_are_deterministic() {
+        for sched in [SchedKind::Fixed(4), SchedKind::Adaptive(2)] {
+            let mut cfg = tiny_cfg(AlgoKind::A2sgd, 2);
+            cfg.schedule = sched;
+            let a = train(&cfg);
+            let b = train(&cfg);
+            assert_eq!(a.final_metric, b.final_metric);
+            assert_eq!(a.sync_steps, b.sync_steps);
+            let ea: Vec<u64> = a.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+            let eb: Vec<u64> = b.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+            assert_eq!(ea, eb);
+        }
     }
 
     #[test]

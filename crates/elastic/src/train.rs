@@ -35,7 +35,8 @@
 use crate::fault::{splitmix64, FaultPlan};
 use crate::membership::Membership;
 use crate::recover::ElasticComm;
-use a2sgd::Checkpoint;
+use a2sgd::{Checkpoint, SchedCheckpoint};
+use a2sgd_sched::{SchedKind, SchedState, SyncDecision, SyncObservation, SyncSchedule};
 use cluster_comm::{CommHandle, TransportError};
 use std::path::PathBuf;
 
@@ -70,6 +71,14 @@ pub struct ElasticTrainConfig {
     pub seed: u64,
     /// Gradient sync flavor.
     pub sync: SyncKind,
+    /// Sync schedule: which steps run `sync` at all. `Local` steps apply
+    /// the purely local SGD update (zero wire traffic); the `Sync` step
+    /// closing an H-step window averages *parameters* as the
+    /// pseudo-gradient `Δ = w_anchor − w` through the same `sync` path, so
+    /// under [`SyncKind::A2sgd`] a whole window of training still costs
+    /// one 64-bit packet. Degenerate (length-1) windows take the classic
+    /// gradient path, making `fixed1` bit-identical to `every`.
+    pub schedule: SchedKind,
     /// `Some(k)`: the current rank 0 snapshots state every `k` steps into
     /// `ckpt_dir`.
     pub checkpoint_every: Option<u64>,
@@ -92,6 +101,7 @@ impl ElasticTrainConfig {
             momentum: 0.9,
             seed,
             sync: SyncKind::Dense,
+            schedule: SchedKind::EveryStep,
             checkpoint_every: None,
             ckpt_dir: None,
             resume_from: None,
@@ -114,6 +124,11 @@ pub struct ElasticRunReport {
     pub recoveries: usize,
     /// Steps actually applied (equals `iters` for completed runs).
     pub steps_done: u64,
+    /// Steps that ran the configured gradient/parameter sync.
+    pub sync_steps: u64,
+    /// Steps that skipped the synchronizer under the sync schedule
+    /// (`sync_steps + local_steps == steps_done`).
+    pub local_steps: u64,
     /// True when this rank was a scripted casualty (it returns early with
     /// the state it had at death; peers recover without it).
     pub killed: bool,
@@ -230,6 +245,95 @@ fn catch_up(
     Ok(())
 }
 
+/// Schedule-phase alignment, run right after [`catch_up`] whenever a
+/// non-trivial schedule is configured: the current rank 0 broadcasts its
+/// window phase (`local_in_window`, the adaptive period, the adaptive
+/// reference dispersion as exact bits) plus the window-anchor parameters,
+/// so survivors — and a cold restart that loaded the checkpoint's
+/// [`SchedCheckpoint`] — re-enter the period at the same point instead of
+/// restarting the window from scratch.
+fn catch_up_schedule(
+    comm: &mut CommHandle,
+    schedule: &mut dyn SyncSchedule,
+    anchor: &mut [f32],
+) -> Result<(), TransportError> {
+    let s = schedule.state();
+    let mut hdr = [s.local_in_window, s.current_h, s.ref_dispersion.to_bits()];
+    comm.try_broadcast(0, &mut hdr)?;
+    schedule.load_state(SchedState {
+        local_in_window: hdr[0],
+        current_h: hdr[1],
+        ref_dispersion: f64::from_bits(hdr[2]),
+    });
+    comm.try_broadcast(0, anchor)?;
+    Ok(())
+}
+
+/// Rank-agreed dispersion for adaptive schedules: every rank contributes
+/// `(Σ(pre−post)², Σpost²)` over the quantity it just synchronized, the
+/// sums are combined in rank order from exact f64 bit patterns, and the
+/// ratio is identical everywhere — safe to feed a schedule controller
+/// that must stay in lockstep.
+fn gathered_dispersion(
+    comm: &mut CommHandle,
+    pre: &[f32],
+    post: &[f32],
+) -> Result<f64, TransportError> {
+    let mut drift = 0.0f64;
+    let mut norm = 0.0f64;
+    for (a, b) in pre.iter().zip(post) {
+        let d = (*a - *b) as f64;
+        drift += d * d;
+        norm += (*b as f64) * (*b as f64);
+    }
+    let all = comm.try_allgather(&[drift.to_bits(), norm.to_bits()])?;
+    let (mut dsum, mut nsum) = (0.0f64, 0.0f64);
+    for lane in &all {
+        dsum += f64::from_bits(lane[0]);
+        nsum += f64::from_bits(lane[1]);
+    }
+    Ok(dsum / (nsum + 1e-24))
+}
+
+/// Rank 0 snapshots `(step, w, vel)` — plus the schedule phase and window
+/// anchor under a non-trivial schedule — whenever `step` lands on the
+/// checkpoint cadence. The schedule block makes a cold restart bit-exact
+/// even from a snapshot taken mid-window.
+fn maybe_checkpoint(
+    cfg: &ElasticTrainConfig,
+    rank: usize,
+    step: u64,
+    w: &[f32],
+    vel: &[f32],
+    schedule: &dyn SyncSchedule,
+    anchor: &[f32],
+) -> Result<(), String> {
+    let (Some(every), Some(dir)) = (cfg.checkpoint_every, &cfg.ckpt_dir) else {
+        return Ok(());
+    };
+    if rank != 0 || every == 0 || step % every != 0 {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+    let sched = (!schedule.is_every_step()).then(|| {
+        let s = schedule.state();
+        SchedCheckpoint {
+            local_in_window: s.local_in_window,
+            current_h: s.current_h,
+            ref_dispersion: s.ref_dispersion,
+            anchor: anchor.to_vec(),
+        }
+    });
+    let c = Checkpoint {
+        step,
+        seed: cfg.seed,
+        params: w.to_vec(),
+        velocity: vec![vel.to_vec()],
+        sched,
+    };
+    c.write(&dir.join(Checkpoint::file_name(step)))
+}
+
 /// Runs the elastic training loop on `ec` under the (per-rank) fault
 /// plan. Returns this rank's report; a scripted casualty returns early
 /// with `killed: true` while its peers shrink and finish without it.
@@ -244,6 +348,9 @@ pub fn train_elastic(
     let mut w = vec![0.0f32; cfg.dim];
     let mut vel = vec![0.0f32; cfg.dim];
     let mut step = 0u64;
+    let mut schedule = cfg.schedule.build();
+    let scheduled = !cfg.schedule.is_every_step();
+    let mut ckpt_sched: Option<SchedCheckpoint> = None;
     if let Some(path) = &cfg.resume_from {
         let c = Checkpoint::read(path)?;
         if c.seed != cfg.seed {
@@ -252,13 +359,34 @@ pub fn train_elastic(
         w = c.params;
         vel = c.velocity.into_iter().next().unwrap_or_else(|| vec![0.0; cfg.dim]);
         step = c.step;
+        ckpt_sched = c.sched;
     }
     // Everyone adopts rank 0's state — no-op on a fresh start, the resume
     // fan-out on a cold restart.
     catch_up(&mut ec.comm, &mut w, &mut vel, &mut step).map_err(|e| e.to_string())?;
+    let mut anchor = w.clone();
+    if scheduled {
+        // A checkpoint written mid-window carries the schedule phase and
+        // the window anchor; only the loading rank has them, and the
+        // schedule catch-up fans both out below.
+        if let Some(sc) = ckpt_sched {
+            schedule.load_state(SchedState {
+                local_in_window: sc.local_in_window,
+                current_h: sc.current_h,
+                ref_dispersion: sc.ref_dispersion,
+            });
+            if sc.anchor.len() == cfg.dim {
+                anchor = sc.anchor;
+            }
+        }
+        catch_up_schedule(&mut ec.comm, schedule.as_mut(), &mut anchor)
+            .map_err(|e| e.to_string())?;
+    }
 
     let mut member = Membership::new(ec.rank(), ec.world());
     let mut recoveries = 0usize;
+    let mut sync_steps = 0u64;
+    let mut local_steps = 0u64;
     let mut first_sync_pending = false;
 
     while step < cfg.iters {
@@ -275,56 +403,123 @@ pub fn train_elastic(
                 world_at_end: ec.world(),
                 recoveries,
                 steps_done: step,
+                sync_steps,
+                local_steps,
                 killed: true,
             });
         }
 
         // Heartbeat plane: notice silent deaths between collectives.
         let failed = if member.beat(ec.comm.transport_mut()).is_empty() {
-            let mut g = local_grad(cfg, step, ec.world(), ec.rank(), &w);
-            match sync_gradient(&mut ec.comm, cfg.sync, &mut g) {
-                Ok(()) => {
-                    if first_sync_pending {
-                        first_sync_pending = false;
-                        if a2sgd_trace::enabled() {
-                            a2sgd_trace::instant(
-                                "elastic/first_sync",
-                                a2sgd_trace::Args::Value(step as f64),
-                            );
-                        }
-                    }
+            let decision = if scheduled { schedule.decide(step) } else { SyncDecision::Sync };
+            match decision {
+                SyncDecision::Local => {
+                    // Purely local SGD update: zero wire traffic and no
+                    // collective that could surface a peer death.
+                    let g = local_grad(cfg, step, ec.world(), ec.rank(), &w);
                     for j in 0..cfg.dim {
                         vel[j] = cfg.momentum * vel[j] + g[j];
                         w[j] -= cfg.lr * vel[j];
                     }
+                    schedule.record(SyncDecision::Local);
+                    local_steps += 1;
                     step += 1;
-                    if let (Some(every), Some(dir)) = (cfg.checkpoint_every, &cfg.ckpt_dir) {
-                        if ec.rank() == 0 && every > 0 && step % every == 0 {
-                            std::fs::create_dir_all(dir)
-                                .map_err(|e| format!("create {dir:?}: {e}"))?;
-                            let c = Checkpoint {
-                                step,
-                                seed: cfg.seed,
-                                params: w.clone(),
-                                velocity: vec![vel.clone()],
-                            };
-                            c.write(&dir.join(Checkpoint::file_name(step)))?;
-                        }
-                    }
+                    maybe_checkpoint(cfg, ec.rank(), step, &w, &vel, schedule.as_ref(), &anchor)?;
                     false
                 }
-                Err(e) => {
-                    if a2sgd_trace::enabled() {
-                        let peer = match &e {
-                            TransportError::PeerClosed { peer, .. }
-                            | TransportError::SendFailed { peer, .. } => *peer,
-                        };
-                        a2sgd_trace::instant(
-                            "elastic/peer_dead",
-                            a2sgd_trace::Args::Value(peer as f64),
-                        );
+                SyncDecision::Sync => {
+                    let mut g = local_grad(cfg, step, ec.world(), ec.rank(), &w);
+                    let window_len = if scheduled { schedule.local_in_window() + 1 } else { 1 };
+                    let want_disp = scheduled && schedule.wants_dispersion();
+                    let res: Result<(), TransportError> = if window_len == 1 {
+                        // Degenerate window: the classic gradient path —
+                        // bit-identical to the unscheduled loop.
+                        (|| {
+                            let pre = want_disp.then(|| g.clone());
+                            sync_gradient(&mut ec.comm, cfg.sync, &mut g)?;
+                            if let Some(p) = pre {
+                                let d = gathered_dispersion(&mut ec.comm, &p, &g)?;
+                                schedule
+                                    .observe_sync(&SyncObservation { dispersion: d, window_len });
+                            }
+                            for j in 0..cfg.dim {
+                                vel[j] = cfg.momentum * vel[j] + g[j];
+                                w[j] -= cfg.lr * vel[j];
+                            }
+                            Ok(())
+                        })()
+                    } else {
+                        // Window close: take the local step into scratch
+                        // state, average parameters as the pseudo-gradient
+                        // Δ = anchor − w through the same sync path, and
+                        // commit only on success — a mid-sync peer death
+                        // leaves (w, vel) untouched, so the retried step
+                        // replays exactly like any other.
+                        (|| {
+                            let mut vel2 = vel.clone();
+                            let mut w2 = w.clone();
+                            for j in 0..cfg.dim {
+                                vel2[j] = cfg.momentum * vel2[j] + g[j];
+                                w2[j] -= cfg.lr * vel2[j];
+                            }
+                            let mut delta: Vec<f32> =
+                                anchor.iter().zip(&w2).map(|(a, b)| a - b).collect();
+                            let pre = want_disp.then(|| delta.clone());
+                            sync_gradient(&mut ec.comm, cfg.sync, &mut delta)?;
+                            if let Some(p) = pre {
+                                let d = gathered_dispersion(&mut ec.comm, &p, &delta)?;
+                                schedule
+                                    .observe_sync(&SyncObservation { dispersion: d, window_len });
+                            }
+                            for j in 0..cfg.dim {
+                                w[j] = anchor[j] - delta[j];
+                            }
+                            vel = vel2;
+                            Ok(())
+                        })()
+                    };
+                    match res {
+                        Ok(()) => {
+                            if first_sync_pending {
+                                first_sync_pending = false;
+                                if a2sgd_trace::enabled() {
+                                    a2sgd_trace::instant(
+                                        "elastic/first_sync",
+                                        a2sgd_trace::Args::Value(step as f64),
+                                    );
+                                }
+                            }
+                            if scheduled {
+                                schedule.record(SyncDecision::Sync);
+                                anchor.copy_from_slice(&w);
+                            }
+                            sync_steps += 1;
+                            step += 1;
+                            maybe_checkpoint(
+                                cfg,
+                                ec.rank(),
+                                step,
+                                &w,
+                                &vel,
+                                schedule.as_ref(),
+                                &anchor,
+                            )?;
+                            false
+                        }
+                        Err(e) => {
+                            if a2sgd_trace::enabled() {
+                                let peer = match &e {
+                                    TransportError::PeerClosed { peer, .. }
+                                    | TransportError::SendFailed { peer, .. } => *peer,
+                                };
+                                a2sgd_trace::instant(
+                                    "elastic/peer_dead",
+                                    a2sgd_trace::Args::Value(peer as f64),
+                                );
+                            }
+                            true
+                        }
                     }
-                    true
                 }
             }
         } else {
@@ -337,6 +532,12 @@ pub fn train_elastic(
             ec = ec.shrink_and_reconnect()?;
             catch_up(&mut ec.comm, &mut w, &mut vel, &mut step)
                 .map_err(|e| format!("catch-up after recovery: {e}"))?;
+            if scheduled {
+                // Survivors were in lockstep already, but the broadcast also
+                // rehydrates the phase on a replacement that started cold.
+                catch_up_schedule(&mut ec.comm, schedule.as_mut(), &mut anchor)
+                    .map_err(|e| format!("schedule catch-up after recovery: {e}"))?;
+            }
             member = Membership::new(ec.rank(), ec.world());
             recoveries += 1;
             first_sync_pending = true;
@@ -367,6 +568,8 @@ pub fn train_elastic(
         world_at_end: ec.world(),
         recoveries,
         steps_done: step,
+        sync_steps,
+        local_steps,
         killed: false,
     })
 }

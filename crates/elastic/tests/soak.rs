@@ -18,6 +18,7 @@
 //! parameters to the last mantissa bit.
 
 use a2sgd_elastic::{train_elastic, ElasticComm, ElasticTrainConfig, FaultPlan, SyncKind};
+use a2sgd_sched::SchedKind;
 use cluster_comm::WorldSpec;
 use std::net::TcpListener;
 
@@ -211,4 +212,184 @@ fn checkpoint_resume_is_bit_identical() {
     assert_eq!(full[0].final_loss, resumed[0].final_loss);
 
     let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn scheduled_run_reenters_period_after_shrink() {
+    let seed = 0x5C4E_D111u64;
+    let cfg = ElasticTrainConfig {
+        iters: 32,
+        schedule: SchedKind::Fixed(4),
+        ..ElasticTrainConfig::probe(seed)
+    };
+    let victim = 1usize;
+    // Step 13 is mid-window (fixed4 runs L L L S, so syncs land on steps
+    // 3, 7, 11, 15, …): the survivors must re-enter the period at phase 2
+    // after the shrink, not restart the window.
+    let plan = FaultPlan::kill_at(13);
+
+    let spec = WorldSpec::single_host(free_loopback_addr(), 4);
+    let reports = run_world(&spec, |rank| {
+        let ec = ElasticComm::connect(rank, &spec, 0).expect("rendezvous");
+        let p = if rank == victim { plan.clone() } else { FaultPlan::none() };
+        train_elastic(ec, &cfg, &p).expect("elastic run failed")
+    });
+
+    assert!(reports[victim].killed);
+    let survivors: Vec<_> = (0..4).filter(|&r| r != victim).map(|r| &reports[r]).collect();
+    for s in &survivors {
+        assert!(!s.killed);
+        assert_eq!(s.recoveries, 1, "expected exactly one shrink-and-continue");
+        assert_eq!(s.world_at_end, 3);
+        assert_eq!(s.steps_done, cfg.iters);
+        // fixed4 over 32 steps closes exactly 8 windows, with syncs fixed
+        // at steps 3, 7, …, 31 regardless of when the death is noticed. A
+        // recovery that reset the window phase would shift every later
+        // sync and change this count. (Local-step counts are per-rank:
+        // locals run no collective, so ranks drift within a window and the
+        // recovery catch-up may skip or replay a lagging rank's locals.)
+        assert_eq!(s.sync_steps, 8, "window phase not preserved across the shrink");
+    }
+    // The catch-up broadcaster itself never jumps, so its local count is
+    // exact: every step ran once, 24 of them without touching the wire.
+    assert_eq!(reports[0].local_steps, 24);
+    let bits: Vec<Vec<u32>> =
+        survivors.iter().map(|s| s.final_params.iter().map(|x| x.to_bits()).collect()).collect();
+    assert_eq!(bits[0], bits[1], "survivors diverged");
+    assert_eq!(bits[0], bits[2], "survivors diverged");
+
+    // Local SGD trades per-step averaging for a 4x traffic cut; the convex
+    // probe still has to converge, just against a looser bar.
+    let start = a2sgd_elastic::train::full_loss(&cfg, &vec![0.0; cfg.dim]);
+    let got = survivors[0].final_loss;
+    assert!(got < 0.3 * start, "scheduled elastic run failed to converge: {got} (start {start})");
+}
+
+#[test]
+fn scheduled_checkpoint_resume_reenters_period_mid_window() {
+    let seed = 0x5CED_C4B0u64;
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("a2sgd-soak-sched-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    // Bit-exactness is only claimable where rank 0's snapshot captures the
+    // whole distributed state: local steps run no collective, so in a
+    // multi-rank world the peers have drifted from rank 0 mid-window and
+    // no single-rank checkpoint can reproduce them. A world of one makes
+    // the claim exact and still exercises every schedule field: a resume
+    // that dropped the phase or the window anchor would close the next
+    // window at the wrong step or against the wrong base.
+    let full_cfg = ElasticTrainConfig {
+        iters: 20,
+        schedule: SchedKind::Fixed(4),
+        checkpoint_every: Some(10),
+        ckpt_dir: Some(ckpt_dir.clone()),
+        ..ElasticTrainConfig::probe(seed)
+    };
+    let spec = WorldSpec::single_host(free_loopback_addr(), 1);
+    let full = run_world(&spec, |rank| {
+        let ec = ElasticComm::connect(rank, &spec, 0).expect("rendezvous");
+        train_elastic(ec, &full_cfg, &FaultPlan::none()).expect("full run failed")
+    });
+
+    // The midpoint snapshot landed two local steps into a window (syncs at
+    // steps 3 and 7; steps 8 and 9 were local), so the v2 schedule block
+    // must carry phase 2 and a window anchor that differs from the drifted
+    // mid-window parameters.
+    let midpoint = ckpt_dir.join(a2sgd::Checkpoint::file_name(10));
+    let c = a2sgd::Checkpoint::read(&midpoint).expect("midpoint checkpoint");
+    let sc = c.sched.as_ref().expect("schedule block missing from the v2 checkpoint");
+    assert_eq!(sc.local_in_window, 2, "checkpoint taken at the wrong window phase");
+    assert_eq!(sc.current_h, 4);
+    assert_eq!(sc.anchor.len(), full_cfg.dim);
+    assert_ne!(
+        bits(&sc.anchor),
+        bits(&c.params),
+        "mid-window params should have drifted from the window anchor"
+    );
+
+    let spec_r = WorldSpec::single_host(free_loopback_addr(), 1);
+    let resumed_solo = run_world(&spec_r, |rank| {
+        let cfg = ElasticTrainConfig {
+            resume_from: Some(midpoint.clone()).filter(|_| rank == 0),
+            checkpoint_every: None,
+            ckpt_dir: None,
+            ..full_cfg.clone()
+        };
+        let ec = ElasticComm::connect(rank, &spec_r, 0).expect("rendezvous");
+        train_elastic(ec, &cfg, &FaultPlan::none()).expect("resumed run failed")
+    });
+    assert_eq!(resumed_solo[0].steps_done, 20);
+    assert_eq!(
+        bits(&full[0].final_params),
+        bits(&resumed_solo[0].final_params),
+        "mid-window scheduled resume diverged from the uninterrupted run"
+    );
+
+    // Two-rank resume: rank 1 starts cold, and the schedule catch-up fans
+    // rank 0's phase out to it. The surviving evidence is the sync
+    // pattern — resuming at step 10, phase 2 puts the remaining window
+    // closes at steps 11, 15, 19 (three syncs); a reset phase would sync
+    // at 13 and 17 instead.
+    let two_cfg = ElasticTrainConfig {
+        iters: 20,
+        schedule: SchedKind::Fixed(4),
+        checkpoint_every: Some(10),
+        ckpt_dir: Some(ckpt_dir.clone()),
+        ..ElasticTrainConfig::probe(seed ^ 0x2)
+    };
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let spec2 = WorldSpec::single_host(free_loopback_addr(), 2);
+    run_world(&spec2, |rank| {
+        let ec = ElasticComm::connect(rank, &spec2, 0).expect("rendezvous");
+        train_elastic(ec, &two_cfg, &FaultPlan::none()).expect("two-rank full run failed")
+    });
+    let midpoint2 = ckpt_dir.join(a2sgd::Checkpoint::file_name(10));
+    let spec3 = WorldSpec::single_host(free_loopback_addr(), 2);
+    let resumed = run_world(&spec3, |rank| {
+        let cfg = ElasticTrainConfig {
+            resume_from: Some(midpoint2.clone()).filter(|_| rank == 0),
+            checkpoint_every: None,
+            ckpt_dir: None,
+            ..two_cfg.clone()
+        };
+        let ec = ElasticComm::connect(rank, &spec3, 0).expect("rendezvous");
+        train_elastic(ec, &cfg, &FaultPlan::none()).expect("two-rank resumed run failed")
+    });
+    for r in &resumed {
+        assert_eq!(r.steps_done, 20);
+        assert_eq!(r.sync_steps, 3, "cold rank did not re-enter the period at phase 2");
+    }
+    assert_eq!(bits(&resumed[0].final_params), bits(&resumed[1].final_params));
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn adaptive_schedule_runs_elastic_a2sgd_in_lockstep() {
+    let seed = 0xADA7_0E57u64;
+    let cfg = ElasticTrainConfig {
+        iters: 16,
+        sync: SyncKind::A2sgd,
+        schedule: SchedKind::Adaptive(2),
+        ..ElasticTrainConfig::probe(seed)
+    };
+    let spec = WorldSpec::single_host(free_loopback_addr(), 2);
+    let reports = run_world(&spec, |rank| {
+        let ec = ElasticComm::connect(rank, &spec, 0).expect("rendezvous");
+        train_elastic(ec, &cfg, &FaultPlan::none()).expect("adaptive elastic run failed")
+    });
+    for r in &reports {
+        assert_eq!(r.steps_done, cfg.iters);
+        assert_eq!(r.sync_steps + r.local_steps, cfg.iters);
+        assert!(r.sync_steps >= 1, "adaptive schedule never synced");
+        assert!(r.local_steps >= 1, "adaptive2 should skip some steps");
+    }
+    // The dispersion observations feeding the controller are rank-agreed,
+    // so the schedules stayed in lockstep and the final re-average left
+    // one model.
+    assert_eq!(reports[0].sync_steps, reports[1].sync_steps);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&reports[0].final_params), bits(&reports[1].final_params));
 }
