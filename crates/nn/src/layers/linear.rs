@@ -3,8 +3,9 @@
 use crate::init;
 use crate::module::{Mode, Module};
 use crate::param::Param;
+use mini_tensor::gemm::Gemm;
 use mini_tensor::rng::SeedRng;
-use mini_tensor::{matmul, Tensor};
+use mini_tensor::Tensor;
 
 /// `y = x·Wᵀ + b` with `x: [B, in]`, `W: [out, in]`, `b: [out]`.
 pub struct Linear {
@@ -38,7 +39,9 @@ impl Module for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(x.shape().rank(), 2, "Linear expects [B, in]");
         assert_eq!(x.shape().dim(1), self.in_features());
-        let mut y = matmul::matmul_bt(x, &self.weight.data);
+        let batch = x.shape().dim(0);
+        let mut y = Gemm::nt(batch, self.in_features(), self.out_features())
+            .run_tensor(x, &self.weight.data);
         let b = self.bias.data.as_slice();
         let out_f = self.out_features();
         for row in y.as_mut_slice().chunks_exact_mut(out_f) {
@@ -53,10 +56,11 @@ impl Module for Linear {
     fn backward(&mut self, dout: &Tensor) -> Tensor {
         let x = self.cached_x.as_ref().expect("backward before forward");
         let out_f = self.out_features();
-        assert_eq!(dout.shape().dims(), &[x.shape().dim(0), out_f]);
+        let batch = x.shape().dim(0);
+        assert_eq!(dout.shape().dims(), &[batch, out_f]);
 
         // dW[out, in] += doutᵀ[out, B] · x[B, in]
-        let dw = matmul::matmul_at(dout, x);
+        let dw = Gemm::tn(out_f, batch, self.in_features()).run_tensor(dout, x);
         for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw.as_slice()) {
             *g += *d;
         }
@@ -68,7 +72,7 @@ impl Module for Linear {
             }
         }
         // dx[B, in] = dout[B, out] · W[out, in]
-        matmul::matmul(dout, &self.weight.data)
+        Gemm::nn(batch, out_f, self.in_features()).run_tensor(dout, &self.weight.data)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -3,8 +3,9 @@
 use crate::init;
 use crate::module::{Mode, Module};
 use crate::param::Param;
+use mini_tensor::gemm::{Gemm, PackedA, PackedB};
 use mini_tensor::rng::SeedRng;
-use mini_tensor::{matmul, Tensor};
+use mini_tensor::Tensor;
 
 /// Single-layer LSTM over `[B, T, E] → [B, T, H]`, zero initial state.
 ///
@@ -91,6 +92,14 @@ impl Module for Lstm {
             .map(|(a, c)| a + c)
             .collect();
 
+        // The gate products are weight-stationary across timesteps: pack
+        // w_ih / w_hh once, repack only the small per-step activations.
+        let g_ih = Gemm::nt(b, e, 4 * h);
+        let g_hh = Gemm::nt(b, h, 4 * h);
+        let p_wih = g_ih.pack_b(self.w_ih.data.as_slice());
+        let p_whh = g_hh.pack_b(self.w_hh.data.as_slice());
+        let mut pact = PackedA::default();
+
         for step in 0..t {
             // x_t [B, E] gathered from the strided input.
             let mut xt = vec![0.0f32; b * e];
@@ -100,9 +109,11 @@ impl Module for Lstm {
             }
             // a = x_t·w_ihᵀ + h·w_hhᵀ + b  → [B, 4H]
             let mut a = vec![0.0f32; b * 4 * h];
-            matmul::matmul_bt_into(&xt, self.w_ih.data.as_slice(), &mut a, b, e, 4 * h);
+            g_ih.pack_a_into(&xt, &mut pact);
+            g_ih.run_packed(&pact, &p_wih, &mut a, false);
             let mut ah = vec![0.0f32; b * 4 * h];
-            matmul::matmul_bt_into(&hs[step], self.w_hh.data.as_slice(), &mut ah, b, h, 4 * h);
+            g_hh.pack_a_into(&hs[step], &mut pact);
+            g_hh.run_packed(&pact, &p_whh, &mut ah, false);
             for (av, (hv, bv)) in a.iter_mut().zip(ah.iter().zip(bias.iter().cycle())) {
                 *av += hv + bv;
             }
@@ -152,6 +163,18 @@ impl Module for Lstm {
         let mut dw_hh = vec![0.0f32; 4 * h * h];
         let mut db = vec![0.0f32; 4 * h];
 
+        // Weight-stationary across the BPTT loop: dx_t and dh_prev both
+        // multiply by a fixed weight matrix, packed once. The da-side packs
+        // reuse one buffer per operand role.
+        let g_dwi = Gemm::tn(4 * h, b, e);
+        let g_dwh = Gemm::tn(4 * h, b, h);
+        let g_dxt = Gemm::nn(b, 4 * h, e);
+        let g_dhp = Gemm::nn(b, 4 * h, h);
+        let p_wih = g_dxt.pack_b(self.w_ih.data.as_slice());
+        let p_whh = g_dhp.pack_b(self.w_hh.data.as_slice());
+        let mut pa = PackedA::default();
+        let mut pb = PackedB::default();
+
         for step in (0..t).rev() {
             let gate = &cache.gates[step];
             let c_prev = &cache.cs[step];
@@ -193,13 +216,17 @@ impl Module for Lstm {
 
             // dW_ih [4H, E] += daᵀ[4H, B] · x_t[B, E]
             let mut dwi = vec![0.0f32; 4 * h * e];
-            matmul::matmul_at_into(&da, &xt, &mut dwi, b, 4 * h, e);
+            g_dwi.pack_a_into(&da, &mut pa);
+            g_dwi.pack_b_into(&xt, &mut pb);
+            g_dwi.run_packed(&pa, &pb, &mut dwi, false);
             for (a, v) in dw_ih.iter_mut().zip(&dwi) {
                 *a += v;
             }
             // dW_hh [4H, H] += daᵀ · h_prev
             let mut dwh = vec![0.0f32; 4 * h * h];
-            matmul::matmul_at_into(&da, h_prev, &mut dwh, b, 4 * h, h);
+            g_dwh.pack_a_into(&da, &mut pa);
+            g_dwh.pack_b_into(h_prev, &mut pb);
+            g_dwh.run_packed(&pa, &pb, &mut dwh, false);
             for (a, v) in dw_hh.iter_mut().zip(&dwh) {
                 *a += v;
             }
@@ -211,14 +238,16 @@ impl Module for Lstm {
             }
             // dx_t [B, E] = da[B, 4H] · w_ih[4H, E]
             let mut dxt = vec![0.0f32; b * e];
-            matmul::matmul_into(&da, self.w_ih.data.as_slice(), &mut dxt, b, 4 * h, e);
+            g_dxt.pack_a_into(&da, &mut pa);
+            g_dxt.run_packed(&pa, &p_wih, &mut dxt, false);
             for bi in 0..b {
                 let dst = (bi * t + step) * e;
                 dx[dst..dst + e].copy_from_slice(&dxt[bi * e..(bi + 1) * e]);
             }
-            // dh_prev [B, H] = da · w_hh[4H, H]
+            // dh_prev [B, H] = da · w_hh[4H, H] — same packed da as dx_t
+            // (both products read da untransposed at [B, 4H]).
             let mut dhp = vec![0.0f32; b * h];
-            matmul::matmul_into(&da, self.w_hh.data.as_slice(), &mut dhp, b, 4 * h, h);
+            g_dhp.run_packed(&pa, &p_whh, &mut dhp, false);
             dh_next = dhp;
         }
 

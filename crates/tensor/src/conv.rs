@@ -5,7 +5,7 @@
 //! (`weights[F, C·KH·KW] · col[C·KH·KW, OH·OW]`), which is both the classic
 //! CPU strategy and convenient for gradient checking.
 
-use crate::matmul;
+use crate::gemm::{Gemm, PackedB};
 use crate::par;
 use crate::tensor::Tensor;
 
@@ -119,24 +119,41 @@ pub fn conv2d_forward(
 
     let xs = x.as_slice();
     let ws = weight.as_slice();
-    let optr = SendPtr(out.as_mut_slice().as_mut_ptr());
     let per_img_out = spec.out_c * oh * ow;
-    par::par_for_n(n, |i| {
+
+    // Weight-stationary: pack the filter matrix once for the whole batch;
+    // each task reuses one im2col buffer and one packed-column buffer
+    // across its images. Images are numerically independent, so the
+    // task-chunking (which follows the thread count) cannot change bits.
+    let g = Gemm::nn(spec.out_c, ckk, oh * ow);
+    let pw = g.pack_a(ws);
+    let ib = images_per_task(n);
+    par::par_chunks_mut(out.as_mut_slice(), ib * per_img_out, |t, ochunk| {
         let mut col = vec![0.0f32; ckk * oh * ow];
-        im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
-        let oimg =
-            unsafe { std::slice::from_raw_parts_mut(optr.get().add(i * per_img_out), per_img_out) };
-        matmul::matmul_into(ws, &col, oimg, spec.out_c, ckk, oh * ow);
-        if let Some(b) = bias {
-            let bs = b.as_slice();
-            for f in 0..spec.out_c {
-                for v in &mut oimg[f * oh * ow..(f + 1) * oh * ow] {
-                    *v += bs[f];
+        let mut pcol = PackedB::default();
+        for (j, oimg) in ochunk.chunks_mut(per_img_out).enumerate() {
+            let i = t * ib + j;
+            im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
+            g.pack_b_into(&col, &mut pcol);
+            g.run_packed(&pw, &pcol, oimg, false);
+            if let Some(b) = bias {
+                let bs = b.as_slice();
+                for f in 0..spec.out_c {
+                    for v in &mut oimg[f * oh * ow..(f + 1) * oh * ow] {
+                        *v += bs[f];
+                    }
                 }
             }
         }
     });
     out
+}
+
+/// Images handled per parallel task: enough tasks for load balance, few
+/// enough that the per-task im2col / packing buffers amortise.
+fn images_per_task(n: usize) -> usize {
+    let tasks = 4 * par::num_threads();
+    n.div_ceil(tasks.max(1)).max(1)
 }
 
 /// Backward convolution. Given upstream `dout[N,F,OH,OW]`, produces
@@ -159,40 +176,51 @@ pub fn conv2d_backward(
     let mut dw_acc = vec![0.0f32; spec.weight_len()];
     let mut db_acc = vec![0.0f32; spec.out_c];
 
-    let dxptr = SendPtr(dx.as_mut_slice().as_mut_ptr());
-    // dw/db need cross-image accumulation: collect per-image partials and sum.
-    // Image-level parallelism with sequential reduction keeps determinism.
-    let partials: Vec<(Vec<f32>, Vec<f32>)> = {
-        use rayon::prelude::*;
-        (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let mut col = vec![0.0f32; ckk * oh * ow];
-                im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
-                let dimg = &dos[i * spec.out_c * oh * ow..(i + 1) * spec.out_c * oh * ow];
+    // Two packed products per image share operands across the batch:
+    //   dW_i[F, ckk]     = dout_i[F, oh·ow] · col[ckk, oh·ow]ᵀ   (nt)
+    //   dcol[ckk, oh·ow] = W[F, ckk]ᵀ · dout_i[F, oh·ow]         (tn)
+    // The tn product's A operand is the weight matrix, packed once for the
+    // whole batch. dw/db need cross-image accumulation: every image's
+    // partial is kept separate and reduced sequentially in image order
+    // below, so neither the thread count nor the task-chunking can change
+    // the reduction grouping.
+    let g_dw = Gemm::nt(spec.out_c, oh * ow, ckk);
+    let g_dcol = Gemm::tn(ckk, spec.out_c, oh * ow);
+    let pw = g_dcol.pack_a(ws);
+    let ib = images_per_task(n);
+    let partials: Vec<Vec<(Vec<f32>, Vec<f32>)>> =
+        par::par_chunks_mut_map(dx.as_mut_slice(), ib * c * h * w, |t, dxchunk| {
+            let mut col = vec![0.0f32; ckk * oh * ow];
+            let mut dcol = vec![0.0f32; ckk * oh * ow];
+            let mut pa = Default::default();
+            let mut pb = PackedB::default();
+            dxchunk
+                .chunks_mut(c * h * w)
+                .enumerate()
+                .map(|(j, dximg)| {
+                    let i = t * ib + j;
+                    im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec, &mut col);
+                    let dimg = &dos[i * spec.out_c * oh * ow..(i + 1) * spec.out_c * oh * ow];
 
-                // dW_i[F, ckk] = dout_i[F, oh·ow] · col[ckk, oh·ow]ᵀ
-                let mut dwi = vec![0.0f32; spec.out_c * ckk];
-                matmul::matmul_bt_into(dimg, &col, &mut dwi, spec.out_c, oh * ow, ckk);
+                    let mut dwi = vec![0.0f32; spec.out_c * ckk];
+                    g_dw.pack_a_into(dimg, &mut pa);
+                    g_dw.pack_b_into(&col, &mut pb);
+                    g_dw.run_packed(&pa, &pb, &mut dwi, false);
 
-                // db_i[f] = Σ dout_i[f, :]
-                let mut dbi = vec![0.0f32; spec.out_c];
-                for f in 0..spec.out_c {
-                    dbi[f] = dimg[f * oh * ow..(f + 1) * oh * ow].iter().sum();
-                }
+                    // db_i[f] = Σ dout_i[f, :]
+                    let mut dbi = vec![0.0f32; spec.out_c];
+                    for f in 0..spec.out_c {
+                        dbi[f] = dimg[f * oh * ow..(f + 1) * oh * ow].iter().sum();
+                    }
 
-                // dcol[ckk, oh·ow] = Wᵀ[ckk, F] · dout_i[F, oh·ow]
-                let mut dcol = vec![0.0f32; ckk * oh * ow];
-                matmul::matmul_at_into(ws, dimg, &mut dcol, spec.out_c, ckk, oh * ow);
-                let dximg = unsafe {
-                    std::slice::from_raw_parts_mut(dxptr.get().add(i * c * h * w), c * h * w)
-                };
-                col2im(&dcol, c, h, w, spec, dximg);
-                (dwi, dbi)
-            })
-            .collect()
-    };
-    for (dwi, dbi) in partials {
+                    g_dcol.pack_b_into(dimg, &mut pb);
+                    g_dcol.run_packed(&pw, &pb, &mut dcol, false);
+                    col2im(&dcol, c, h, w, spec, dximg);
+                    (dwi, dbi)
+                })
+                .collect()
+        });
+    for (dwi, dbi) in partials.into_iter().flatten() {
         for (a, b) in dw_acc.iter_mut().zip(&dwi) {
             *a += b;
         }
@@ -206,18 +234,6 @@ pub fn conv2d_backward(
         Tensor::from_vec(dw_acc, [spec.out_c, spec.in_c, spec.k, spec.k]),
         Tensor::from_vec(db_acc, [spec.out_c]),
     )
-}
-
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-impl SendPtr {
-    /// Accessor method so closures capture the whole wrapper (edition-2021
-    /// disjoint capture would otherwise capture the raw pointer field).
-    fn get(&self) -> *mut f32 {
-        self.0
-    }
 }
 
 /// Direct (quadruple-loop) convolution used as a test oracle.

@@ -7,8 +7,12 @@
 //!
 //! * an owned dense [`Tensor`] with shape algebra ([`Shape`]),
 //! * elementwise and scalar arithmetic, BLAS-1 style kernels ([`ops`]),
-//! * a blocked, rayon-parallel matrix multiply ([`matmul`]),
-//! * im2col/col2im convolution kernels ([`conv`]),
+//! * a cache-blocked, register-tiled, packing GEMM behind the unified
+//!   [`gemm::Gemm`] descriptor (all four transpose combos; bit-identical
+//!   across thread counts; the old [`matmul`] names are deprecated
+//!   wrappers),
+//! * im2col/col2im convolution kernels ([`conv`]), lowered onto the same
+//!   packed GEMM core with weight panels reused across the batch,
 //! * reductions, argmax and softmax helpers,
 //! * streaming statistics and histograms ([`stats`]) — used both by the
 //!   Gaussian-K baseline and to regenerate the paper's Figure 1,
@@ -19,6 +23,7 @@
 //! bit-reproducible runs the determinism tests can assert on.
 
 pub mod conv;
+pub mod gemm;
 pub mod matmul;
 pub mod ops;
 pub mod par;

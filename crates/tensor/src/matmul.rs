@@ -1,45 +1,45 @@
-//! Blocked, parallel matrix multiplication kernels.
+//! Deprecated matmul front-end — thin wrappers over [`crate::gemm::Gemm`].
 //!
-//! The linear and convolution layers reduce to these three products:
-//! `A·B`, `A·Bᵀ` and `Aᵀ·B`. Each is written as a cache-blocked triple loop
-//! with the k-loop innermost over contiguous memory, parallelised over rows
-//! of the output. This is not a BLAS replacement, but it is adequate for the
-//! scaled training experiments and is fully deterministic.
+//! The `matmul/matmul_bt/matmul_at(_into)` family predates the unified
+//! [`Gemm`] descriptor and is kept only so downstream code migrates at its
+//! own pace; every workspace call site now builds a `Gemm` directly. The
+//! historical `aik == 0.0` skip these kernels carried is gone: it silently
+//! diverged from the reference when the other operand held NaN/±inf
+//! (`0·inf = NaN` was dropped) — the regression test lives in
+//! `tests/gemm_parity.rs`.
+//!
+//! [`legacy`] preserves the old row-parallel triple-loop kernels (minus the
+//! zero-skip) as the honest baseline for `bench_gemm`'s packed-vs-naive
+//! speedup claim.
 
-use crate::par;
+use crate::gemm::Gemm;
 use crate::tensor::Tensor;
 
-/// Register/cache block along the shared (k) dimension.
-const KB: usize = 256;
-
 /// `C[m,n] = A[m,k] · B[k,n]`.
+#[deprecated(note = "build a `gemm::Gemm::nn` descriptor and call `run_tensor`")]
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a);
     let (k2, n) = dims2(b);
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-    let mut out = Tensor::zeros([m, n]);
-    matmul_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
-    out
+    Gemm::nn(m, k, n).run_tensor(a, b)
 }
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ` — i.e. rows of B are dotted with rows of A.
+#[deprecated(note = "build a `gemm::Gemm::nt` descriptor and call `run_tensor`")]
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a);
     let (n, k2) = dims2(b);
     assert_eq!(k, k2, "matmul_bt inner dims {k} vs {k2}");
-    let mut out = Tensor::zeros([m, n]);
-    matmul_bt_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
-    out
+    Gemm::nt(m, k, n).run_tensor(a, b)
 }
 
 /// `C[k,n] = A[m,k]ᵀ · B[m,n]`.
+#[deprecated(note = "build a `gemm::Gemm::tn` descriptor and call `run_tensor`")]
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a);
     let (m2, n) = dims2(b);
     assert_eq!(m, m2, "matmul_at outer dims {m} vs {m2}");
-    let mut out = Tensor::zeros([k, n]);
-    matmul_at_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
-    out
+    Gemm::tn(k, m, n).run_tensor(a, b)
 }
 
 fn dims2(t: &Tensor) -> (usize, usize) {
@@ -47,87 +47,93 @@ fn dims2(t: &Tensor) -> (usize, usize) {
     (t.shape().dim(0), t.shape().dim(1))
 }
 
-/// Raw slice kernel: `c[m×n] += a[m×k]·b[k×n]` with `c` assumed zeroed.
+/// Raw slice kernel: `c[m×n] = a[m×k]·b[k×n]` (c is overwritten).
+#[deprecated(note = "build a `gemm::Gemm::nn` descriptor and call `run`")]
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(c.len(), m * n);
-    // SAFETY-free parallelism: each output row is owned by one task.
-    let cptr = SendPtr(c.as_mut_ptr());
-    par::par_for_n(m, |i| {
-        let crow = unsafe { std::slice::from_raw_parts_mut(cptr.get().add(i * n), n) };
-        let arow = &a[i * k..(i + 1) * k];
-        for k0 in (0..k).step_by(KB) {
-            let k1 = (k0 + KB).min(k);
-            for kk in k0..k1 {
-                let aik = arow[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..kk * n + n];
-                for j in 0..n {
-                    crow[j] += aik * brow[j];
-                }
-            }
-        }
-    });
+    Gemm::nn(m, k, n).run(a, b, c);
 }
 
-/// Raw slice kernel: `c[m×n] = a[m×k]·b[n×k]ᵀ` with `c` assumed zeroed.
+/// Raw slice kernel: `c[m×n] = a[m×k]·b[n×k]ᵀ` (c is overwritten).
+#[deprecated(note = "build a `gemm::Gemm::nt` descriptor and call `run`")]
 pub fn matmul_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(c.len(), m * n);
-    let cptr = SendPtr(c.as_mut_ptr());
-    par::par_for_n(m, |i| {
-        let crow = unsafe { std::slice::from_raw_parts_mut(cptr.get().add(i * n), n) };
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += arow[kk] * brow[kk];
-            }
-            crow[j] = acc;
-        }
-    });
+    Gemm::nt(m, k, n).run(a, b, c);
 }
 
-/// Raw slice kernel: `c[k×n] = a[m×k]ᵀ·b[m×n]` with `c` assumed zeroed.
+/// Raw slice kernel: `c[k×n] = a[m×k]ᵀ·b[m×n]` (c is overwritten).
+#[deprecated(note = "build a `gemm::Gemm::tn` descriptor and call `run`")]
 pub fn matmul_at_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), m * n);
-    assert_eq!(c.len(), k * n);
-    let cptr = SendPtr(c.as_mut_ptr());
-    par::par_for_n(k, |kk| {
-        let crow = unsafe { std::slice::from_raw_parts_mut(cptr.get().add(kk * n), n) };
-        for i in 0..m {
-            let aik = a[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &b[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aik * brow[j];
-            }
-        }
-    });
+    Gemm::tn(k, m, n).run(a, b, c);
 }
 
-/// Wrapper making a raw pointer Send for row-disjoint parallel writes.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-impl SendPtr {
-    /// Accessor method so closures capture the whole wrapper (edition-2021
-    /// disjoint capture would otherwise capture the raw pointer field).
-    fn get(&self) -> *mut f32 {
-        self.0
+/// The pre-`Gemm` kernels: row-parallel triple loops with only k-blocking
+/// and no packing or register tiling. Kept (zero-skip removed) solely as
+/// the baseline `bench_gemm` measures the packed core against; do not use
+/// in new code.
+pub mod legacy {
+    use crate::par;
+
+    /// k-blocking depth of the old kernels.
+    const KB: usize = 256;
+
+    /// `c[m×n] = a[m×k]·b[k×n]`, one parallel task per output row.
+    pub fn matmul_rowpar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), k * n);
+        assert_eq!(c.len(), m * n);
+        par::par_chunks_mut(c, n, |i, crow| {
+            crow.fill(0.0);
+            let arow = &a[i * k..(i + 1) * k];
+            for k0 in (0..k).step_by(KB) {
+                let k1 = (k0 + KB).min(k);
+                for kk in k0..k1 {
+                    let aik = arow[kk];
+                    let brow = &b[kk * n..kk * n + n];
+                    for (cj, bj) in crow.iter_mut().zip(brow) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        });
+    }
+
+    /// `c[m×n] = a[m×k]·b[n×k]ᵀ`, one parallel task per output row.
+    pub fn matmul_bt_rowpar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), n * k);
+        assert_eq!(c.len(), m * n);
+        par::par_chunks_mut(c, n, |i, crow| {
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, cj) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cj = acc;
+            }
+        });
+    }
+
+    /// `c[k×n] = a[m×k]ᵀ·b[m×n]`, one parallel task per output row.
+    pub fn matmul_at_rowpar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), m * n);
+        assert_eq!(c.len(), k * n);
+        par::par_chunks_mut(c, n, |kk, crow| {
+            crow.fill(0.0);
+            for i in 0..m {
+                let aik = a[i * k + kk];
+                let brow = &b[i * n..(i + 1) * n];
+                for (cj, bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
+            }
+        });
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rng::SeedRng;
@@ -191,5 +197,27 @@ mod tests {
         }
         close(&matmul(&a, &eye), &a, 1e-6);
         close(&matmul(&eye, &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn legacy_kernels_match_wrappers() {
+        let mut rng = SeedRng::new(11);
+        let (m, k, n) = (9, 31, 12);
+        let a = rng.randn_tensor(&[m, k], 1.0);
+        let b = rng.randn_tensor(&[k, n], 1.0);
+        let bt = rng.randn_tensor(&[n, k], 1.0);
+        let y = rng.randn_tensor(&[m, n], 1.0);
+
+        let mut c = vec![0.0f32; m * n];
+        legacy::matmul_rowpar(a.as_slice(), b.as_slice(), &mut c, m, k, n);
+        close(&Tensor::from_vec(c, [m, n]), &matmul(&a, &b), 1e-3);
+
+        let mut c = vec![0.0f32; m * n];
+        legacy::matmul_bt_rowpar(a.as_slice(), bt.as_slice(), &mut c, m, k, n);
+        close(&Tensor::from_vec(c, [m, n]), &matmul_bt(&a, &bt), 1e-3);
+
+        let mut c = vec![0.0f32; k * n];
+        legacy::matmul_at_rowpar(a.as_slice(), y.as_slice(), &mut c, m, k, n);
+        close(&Tensor::from_vec(c, [k, n]), &matmul_at(&a, &y), 1e-3);
     }
 }

@@ -85,6 +85,55 @@ where
     }
 }
 
+/// Current worker-pool width (`RAYON_NUM_THREADS` override or the host's
+/// `available_parallelism`). Kernels use it only to size work *buffers*
+/// (e.g. how many images share one im2col scratch), never to change the
+/// arithmetic: results must stay bit-identical across thread counts.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint `chunk`-sized mutable windows
+/// of `y` (the last window may be shorter), in parallel when there is more
+/// than one window. This is the safe replacement for the old `SendPtr` raw
+/// pointer hack: disjointness comes from `chunks_mut`, not from `unsafe`.
+///
+/// `chunk` must be non-zero unless `y` is empty.
+pub fn par_chunks_mut<F>(y: &mut [f32], chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync + Send,
+{
+    if y.is_empty() {
+        return;
+    }
+    assert!(chunk > 0, "par_chunks_mut: zero chunk size over {} elements", y.len());
+    if y.len() <= chunk {
+        f(0, y);
+    } else {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(i, c)| f(i, c));
+    }
+}
+
+/// Like [`par_chunks_mut`], but each window also produces a value; the
+/// results are returned in window order (deterministic regardless of the
+/// pool width). Used where row/image-parallel kernels must both write their
+/// disjoint output slice and report a partial (e.g. per-image weight
+/// gradients that the caller reduces sequentially).
+pub fn par_chunks_mut_map<R, F>(y: &mut [f32], chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut [f32]) -> R + Sync + Send,
+{
+    if y.is_empty() {
+        return Vec::new();
+    }
+    assert!(chunk > 0, "par_chunks_mut_map: zero chunk size over {} elements", y.len());
+    if y.len() <= chunk {
+        return vec![f(0, y)];
+    }
+    y.par_chunks_mut(chunk).enumerate().map(|(i, c)| f(i, c)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +159,35 @@ mod tests {
             par_reduce_indexed(n, 0.0, |lo, hi| x[lo..hi].iter().map(|v| *v as f64).sum::<f64>());
         let seq: f64 = x.iter().map(|v| *v as f64).sum();
         assert!((par - seq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_windows() {
+        let n = 1000;
+        let mut y = vec![0.0f32; n];
+        par_chunks_mut(&mut y, 64, |i, c| {
+            for v in c.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (j, v) in y.iter().enumerate() {
+            assert_eq!(*v, (j / 64) as f32);
+        }
+        // Empty slice: no calls, no panic (chunk size irrelevant).
+        let mut empty: [f32; 0] = [];
+        par_chunks_mut(&mut empty, 0, |_, _| panic!("called on empty input"));
+    }
+
+    #[test]
+    fn par_chunks_mut_map_returns_in_window_order() {
+        let mut y = vec![0.0f32; 257];
+        let firsts = par_chunks_mut_map(&mut y, 32, |i, c| {
+            c[0] = 1.0 + i as f32;
+            i
+        });
+        assert_eq!(firsts, (0..9).collect::<Vec<_>>());
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[256], 9.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
-use mini_tensor::{conv, matmul, ops, rng::SeedRng, stats};
+use mini_tensor::{conv, gemm::Gemm, ops, rng::SeedRng, stats};
 use proptest::prelude::*;
 
 fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -24,8 +24,9 @@ proptest! {
         let a = rng.randn_tensor(&[m, k], 1.0);
         let b = rng.randn_tensor(&[k, n], 1.0);
         let c = rng.randn_tensor(&[k, n], 1.0);
-        let lhs = matmul::matmul(&a, &ops::add(&b, &c));
-        let rhs = ops::add(&matmul::matmul(&a, &b), &matmul::matmul(&a, &c));
+        let g = Gemm::nn(m, k, n);
+        let lhs = g.run_tensor(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&g.run_tensor(&a, &b), &g.run_tensor(&a, &c));
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
@@ -37,8 +38,9 @@ proptest! {
         let mut rng = SeedRng::new(seed);
         let a = rng.randn_tensor(&[m, k], 1.0);
         let b = rng.randn_tensor(&[k, n], 1.0);
-        let lhs = matmul::matmul(&ops::scale(&a, s), &b);
-        let rhs = ops::scale(&matmul::matmul(&a, &b), s);
+        let g = Gemm::nn(m, k, n);
+        let lhs = g.run_tensor(&ops::scale(&a, s), &b);
+        let rhs = ops::scale(&g.run_tensor(&a, &b), s);
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
             prop_assert!((x - y).abs() < 1e-2);
         }

@@ -16,9 +16,21 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
+/// Pool width: `RAYON_NUM_THREADS` when set to a positive integer (matching
+/// the real rayon's global-pool env knob — the kernel determinism tests vary
+/// it at runtime, so it is re-read on every call rather than cached),
+/// otherwise `available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
 /// Runs `f` over `items` on a scoped thread pool, returning results in
 /// item order. Falls back to the calling thread for 0/1 items or when the
-/// host reports a single core.
+/// pool width is one.
 fn execute<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
 where
     I: Send,
@@ -26,7 +38,7 @@ where
     F: Fn(I) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n).max(1);
+    let threads = current_num_threads().min(n).max(1);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -227,5 +239,16 @@ mod tests {
     fn empty_range_is_fine() {
         let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn num_threads_env_override() {
+        // Ignore a stale value other tests may have left; then pin and check.
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(crate::current_num_threads(), 3);
+        let sum = (0..100usize).into_par_iter().map(|i| i as u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 99 * 100 / 2);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(crate::current_num_threads() >= 1);
     }
 }
